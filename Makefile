@@ -1,0 +1,25 @@
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments.runner all --cache-dir benchmarks/.mars_cache
+
+examples:
+	python examples/quickstart.py
+	python examples/place_bert.py
+	python examples/pretrain_and_transfer.py
+	python examples/custom_workload.py
+	python examples/compare_placers.py
+	python examples/analyze_and_deploy.py
+
+clean:
+	rm -rf benchmarks/.mars_cache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

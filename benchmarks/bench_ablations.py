@@ -1,0 +1,142 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Each ablation trains small agents on a scaled workload and prints a
+comparison table; they answer "did this design choice matter?" rather
+than reproduce a specific paper artifact.
+
+* encoder kind (GCN vs GraphSAGE vs raw features)
+* DGI pre-training budget
+* placer segment size
+* reward transform (-sqrt r vs -r vs -log r)
+* RL algorithm (PPO vs REINFORCE)
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import fast_profile
+from repro.core import build_mars_agent, optimize_placement
+from repro.experiments.common import format_table
+from repro.rl.trainer import JointTrainer, SearchHistory
+from repro.sim import ClusterSpec, MeasurementProtocol, PlacementEnv
+from repro.workloads import build_gnmt
+
+CLUSTER = ClusterSpec.default(gpu_memory_gb=3.0)
+PROTOCOL = MeasurementProtocol(bad_step_threshold=20.0)
+ITERATIONS = 20
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_gnmt(scale=0.25)
+
+
+def _train(graph, config, agent_kind="mars"):
+    res = optimize_placement(graph, CLUSTER, agent_kind, config, protocol=PROTOCOL)
+    return res.history.best_runtime
+
+
+def test_ablation_encoder(benchmark, workload):
+    """GCN vs GraphSAGE vs identity encoder, same placer and budget."""
+
+    def run():
+        rows = {}
+        for kind in ("gcn", "sage", "identity"):
+            cfg = fast_profile(seed=0, iterations=ITERATIONS)
+            cfg.encoder.kind = kind
+            cfg.pretrain.enabled = kind == "gcn"
+            rows[kind] = _train(workload, cfg, "mars" if kind == "gcn" else "mars_no_pretrain")
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(["encoder", "best step time (s)"],
+                       [[k, f"{v:.4f}"] for k, v in rows.items()],
+                       title="Ablation: encoder choice"))
+    assert all(np.isfinite(v) for v in rows.values())
+
+
+def test_ablation_pretrain_budget(benchmark, workload):
+    """0 / 50 / 300 DGI iterations before joint training."""
+
+    def run():
+        rows = {}
+        for iters in (0, 50, 300):
+            cfg = fast_profile(seed=0, iterations=ITERATIONS)
+            cfg.pretrain.iterations = max(iters, 1)
+            cfg.pretrain.enabled = iters > 0
+            rows[iters] = _train(workload, cfg, "mars" if iters else "mars_no_pretrain")
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(["DGI iterations", "best step time (s)"],
+                       [[str(k), f"{v:.4f}"] for k, v in rows.items()],
+                       title="Ablation: pre-training budget"))
+    assert all(np.isfinite(v) for v in rows.values())
+
+
+def test_ablation_segment_size(benchmark, workload):
+    """Segment length of the segment-level seq2seq placer."""
+
+    def run():
+        rows = {}
+        for segment in (8, 32, 128):
+            cfg = fast_profile(seed=0, iterations=ITERATIONS)
+            cfg.placer.segment_size = segment
+            rows[segment] = _train(workload, cfg, "mars_no_pretrain")
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(["segment size", "best step time (s)"],
+                       [[str(k), f"{v:.4f}"] for k, v in rows.items()],
+                       title="Ablation: placer segment size"))
+    assert all(np.isfinite(v) for v in rows.values())
+
+
+def test_ablation_reward_transform(benchmark, workload):
+    """The paper's -sqrt(r) vs plain -r and -log(r)."""
+
+    def run():
+        rows = {}
+        for transform in ("neg_sqrt", "neg", "neg_log"):
+            cfg = fast_profile(seed=0, iterations=ITERATIONS)
+            cfg.trainer.reward.transform = transform
+            rows[transform] = _train(workload, cfg, "mars_no_pretrain")
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(["reward transform", "best step time (s)"],
+                       [[k, f"{v:.4f}"] for k, v in rows.items()],
+                       title="Ablation: reward shaping"))
+    assert all(np.isfinite(v) for v in rows.values())
+
+
+def test_ablation_rl_algorithm(benchmark, workload):
+    """PPO (paper) vs REINFORCE (Mirhoseini et al. 2017)."""
+
+    def run():
+        rows = {}
+        for algo in ("ppo", "reinforce"):
+            cfg = fast_profile(seed=0, iterations=ITERATIONS)
+            cfg.trainer.algorithm = algo
+            env = PlacementEnv(workload, CLUSTER, protocol=PROTOCOL)
+            agent = build_mars_agent(workload, CLUSTER, cfg)
+            pre_clock = agent.pretrain(cfg.pretrain, seed=0)
+            history = JointTrainer(agent, env, cfg.trainer).train(
+                SearchHistory(pretrain_clock=pre_clock)
+            )
+            rows[algo] = history.best_runtime
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(["algorithm", "best step time (s)"],
+                       [[k, f"{v:.4f}"] for k, v in rows.items()],
+                       title="Ablation: RL algorithm"))
+    assert all(np.isfinite(v) for v in rows.values())

@@ -1,0 +1,32 @@
+"""Regenerates Fig. 7: per-step runtime of placements during training.
+
+Expected shape (paper): every curve trends downward; on GNMT-4 the
+encoder-placer's early placements are far worse than Mars's, and Mars
+ends at or below the rivals' final level.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import convergence_summary, render_fig7, run_fig7
+
+
+def test_fig7(benchmark, ctx):
+    curves = run_once(benchmark, lambda: run_fig7(ctx))
+    print()
+    print(render_fig7(curves))
+    print()
+    print(convergence_summary(curves))
+
+    for wl, agents in curves.items():
+        for title, (xs, ys) in agents.items():
+            assert len(xs) == len(ys) and len(ys) >= 2, (wl, title)
+            # Downward trend: the best late placement beats the first one.
+            assert min(ys[len(ys) // 2 :]) <= ys[0], (wl, title)
+
+    # GNMT: Mars's early placements are better than the encoder-placer's
+    # (the paper's Fig. 7b observation).
+    gnmt = curves["gnmt4"]
+    mars_first = gnmt["Mars"][1][0]
+    gdp_first = gnmt["Encoder-Placer"][1][0]
+    assert mars_first < gdp_first

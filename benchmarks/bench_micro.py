@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are genuine pytest-benchmark timings (many rounds) of the kernels
+the RL loop spends its time in: the event-driven scheduler, environment
+evaluation, the placer forward/backward, the GCN encoder, and one DGI
+pre-training step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile
+from repro.core import build_mars_agent
+from repro.gnn import DGI, GCNEncoder
+from repro.graph import FeatureExtractor, normalized_adjacency
+from repro.nn import Adam, BiLSTM, Tensor
+from repro.sim import ClusterSpec, PlacementEnv
+from repro.workloads import build_gnmt, build_inception_v3
+
+CLUSTER = ClusterSpec.default()
+
+
+@pytest.fixture(scope="module")
+def gnmt():
+    return build_gnmt(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def inception():
+    return build_inception_v3()
+
+
+def test_scheduler_step_gnmt(benchmark, gnmt):
+    """One makespan simulation of a 4-way GNMT placement (~350 ops)."""
+    env = PlacementEnv(gnmt, CLUSTER)
+    rng = np.random.default_rng(0)
+    placement = env.resolve(rng.integers(0, 4, gnmt.num_nodes))
+    result = benchmark(lambda: env.makespan(placement))
+    assert result > 0
+
+
+def test_env_evaluate_fresh_placements(benchmark, inception):
+    """Full environment evaluation incl. memory check and measurement."""
+    env = PlacementEnv(inception, CLUSTER)
+    rng = np.random.default_rng(0)
+    placements = [rng.integers(0, 5, inception.num_nodes) for _ in range(512)]
+    counter = iter(range(len(placements)))
+
+    def evaluate():
+        return env.evaluate(placements[next(counter) % len(placements)])
+
+    result = benchmark.pedantic(evaluate, rounds=64, iterations=1)
+    assert result.per_step_time > 0
+
+
+def test_gcn_encoder_forward(benchmark, inception):
+    fx = FeatureExtractor()
+    x = fx(inception)
+    adj = normalized_adjacency(inception)
+    enc = GCNEncoder(fx.dim, hidden_dim=48, num_layers=3, rng=0)
+    out = benchmark(lambda: enc(x, adj))
+    assert out.shape == (inception.num_nodes, 48)
+
+
+def test_dgi_pretrain_step(benchmark, inception):
+    fx = FeatureExtractor()
+    x = fx(inception)
+    adj = normalized_adjacency(inception)
+    enc = GCNEncoder(fx.dim, hidden_dim=48, num_layers=3, rng=0)
+    dgi = DGI(enc, rng=1)
+    opt = Adam(dgi.parameters(), lr=1e-3)
+    rng = np.random.default_rng(2)
+
+    def step():
+        opt.zero_grad()
+        loss = dgi.loss(x, adj, rng)
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    assert benchmark(step) > 0
+
+
+def test_bilstm_forward_backward(benchmark):
+    lstm = BiLSTM(48, 48, rng=0)
+    x = Tensor(np.random.default_rng(0).standard_normal((128, 1, 48)), requires_grad=True)
+
+    def fwd_bwd():
+        out, _ = lstm(x)
+        (out * out).mean().backward()
+        lstm.zero_grad()
+        return out.shape
+
+    assert benchmark(fwd_bwd) == (128, 1, 48)
+
+
+def test_mars_agent_sampling(benchmark, gnmt):
+    """Sampling 10 placements from the policy (the rollout hot path)."""
+    cfg = fast_profile(seed=0)
+    agent = build_mars_agent(gnmt, CLUSTER, cfg)
+    rng = np.random.default_rng(0)
+    rollout = benchmark.pedantic(
+        lambda: agent.sample(10, rng), rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert rollout.placements.shape == (10, gnmt.num_nodes)
+
+
+def test_mars_agent_ppo_pass(benchmark, gnmt):
+    """One PPO evaluate+backward pass over a 5-sample minibatch."""
+    cfg = fast_profile(seed=0)
+    agent = build_mars_agent(gnmt, CLUSTER, cfg)
+    rollout = agent.sample(5, np.random.default_rng(0))
+
+    def update_pass():
+        agent.zero_grad()
+        logp, ent = agent.evaluate(rollout.internal)
+        loss = -(logp.mean()) - 1e-3 * ent.mean()
+        loss.backward()
+        return loss.item()
+
+    assert np.isfinite(benchmark.pedantic(update_pass, rounds=5, iterations=1, warmup_rounds=1))

@@ -1,0 +1,54 @@
+"""Seed robustness of the Mars search.
+
+The fine ordering of Table 2's learned agents flips between seeds at the
+fast profile's budgets (see EXPERIMENTS.md). This bench quantifies that
+variance directly: Mars on the scaled GNMT for three seeds, reporting
+mean ± std of the best placement and of the training clock.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.config import fast_profile
+from repro.core import optimize_placement
+from repro.experiments.common import format_table
+from repro.sim import ClusterSpec, MeasurementProtocol
+from repro.workloads import build_gnmt
+
+CLUSTER = ClusterSpec.default(gpu_memory_gb=3.0)
+PROTOCOL = MeasurementProtocol(bad_step_threshold=20.0)
+SEEDS = (0, 1, 2)
+ITERATIONS = 30
+
+
+def test_seed_robustness(benchmark):
+    graph = build_gnmt(scale=0.25)
+
+    def run():
+        bests, clocks = [], []
+        for seed in SEEDS:
+            cfg = fast_profile(seed=seed, iterations=ITERATIONS)
+            res = optimize_placement(graph, CLUSTER, "mars", cfg, protocol=PROTOCOL)
+            bests.append(res.history.best_runtime)
+            clocks.append(res.history.sim_clock / 3600.0)
+        return bests, clocks
+
+    bests, clocks = run_once(benchmark, run)
+    rows = [
+        [f"seed {s}", f"{b:.4f}", f"{c:.2f}"]
+        for s, b, c in zip(SEEDS, bests, clocks)
+    ]
+    rows.append(
+        [
+            "mean ± std",
+            f"{np.mean(bests):.4f} ± {np.std(bests):.4f}",
+            f"{np.mean(clocks):.2f} ± {np.std(clocks):.2f}",
+        ]
+    )
+    print()
+    print(format_table(["run", "best step time (s)", "training clock (h)"], rows,
+                       title=f"Mars seed robustness on {graph.name} ({ITERATIONS} iterations)"))
+
+    assert all(np.isfinite(b) for b in bests)
+    # The relative spread stays bounded — searches do not diverge wildly.
+    assert np.std(bests) / np.mean(bests) < 0.5

@@ -1,0 +1,26 @@
+"""Regenerates Table 1: placer-design study.
+
+Expected shape (paper): the plain seq2seq placer is the worst everywhere
+and degrades with sequence length; segment-level seq2seq matches
+Transformer-XL on the smaller models and beats it on BERT.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import PAPER_VALUES, render_table1, run_table1
+
+
+def test_table1(benchmark, ctx):
+    results = run_once(benchmark, lambda: run_table1(ctx))
+    print()
+    print(render_table1(results))
+    print("\nPaper values for comparison:", PAPER_VALUES)
+
+    for wl, values in results.items():
+        assert all(v == v for v in values.values()), (wl, values)  # no OOM
+        segment = values["Seq2seq (segment)"]
+        best_rival = min(values["Seq2seq"], values["Trf-XL"])
+        # At the fast profile's budgets and graph sizes the three designs
+        # land within tens of percent of each other rather than showing the
+        # paper's clear segment-level win (see EXPERIMENTS.md); the bench
+        # guards against catastrophic regressions of the segment design.
+        assert segment <= best_rival * 1.4, (wl, values)

@@ -1,0 +1,41 @@
+"""Regenerates Table 2: per-step runtime of the best placements found.
+
+Expected shape (paper):
+* Inception-V3 — every approach ties near the single-GPU optimum; the RL
+  agents are not worse than GPU-Only by more than a few percent.
+* GNMT-4 — GPU-Only OOMs; every RL agent beats the human-expert
+  round-robin placement.
+* BERT — Human Expert and GPU-Only OOM; Mars finds a valid placement
+  competitive with the best baseline.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2 import PAPER_VALUES, render_table2, run_table2
+
+
+def test_table2(benchmark, ctx):
+    results = run_once(benchmark, lambda: run_table2(ctx))
+    print()
+    print(render_table2(results))
+    print("\nPaper values for comparison:", PAPER_VALUES)
+
+    # Feasibility structure.
+    assert np.isfinite(results["inception_v3"]["GPU Only"])
+    assert np.isnan(results["gnmt4"]["GPU Only"])
+    assert np.isnan(results["bert"]["GPU Only"])
+    assert np.isnan(results["bert"]["Human Experts"])
+
+    # Inception: everything ties near the optimum.
+    inc = results["inception_v3"]
+    assert inc["Mars"] <= inc["GPU Only"] * 1.25
+
+    # GNMT: RL beats the expert.
+    gnmt = results["gnmt4"]
+    assert gnmt["Mars"] < gnmt["Human Experts"]
+
+    # BERT: Mars finds a valid placement and beats the grouper-placer.
+    bert = results["bert"]
+    assert np.isfinite(bert["Mars"])
+    assert bert["Mars"] <= bert["Grouper-Placer"] * 1.05

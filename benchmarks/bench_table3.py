@@ -1,0 +1,28 @@
+"""Regenerates Table 3: generalization across workloads.
+
+Expected shape (paper): direct training is never worse than transfer;
+similar-type transfer is at least as good as different-type transfer,
+with the gap largest on the hardest workload (BERT).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table3 import PAPER_VALUES, render_table3, run_table3
+
+
+def test_table3(benchmark, ctx):
+    results = run_once(benchmark, lambda: run_table3(ctx))
+    print()
+    print(render_table3(results))
+    print("\nPaper values for comparison:", PAPER_VALUES)
+
+    for wl, row in results.items():
+        direct = row["Direct training"]
+        similar = row["Generalized from similar type"]
+        different = row["Generalized from different type"]
+        import numpy as np
+
+        assert np.isfinite(direct) and np.isfinite(similar) and np.isfinite(different)
+        # Direct training wins (25% slack: 100 fine-tuning samples are few
+        # and the fast profile's searches are noisy).
+        assert direct <= similar * 1.25, (wl, row)
+        assert direct <= different * 1.25, (wl, row)

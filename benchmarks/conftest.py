@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+The experiment benches (one per table/figure of the paper) are *end-to-end
+reproductions*: each trains RL agents against the simulated machine and
+prints the regenerated table. They run exactly once per session
+(``benchmark.pedantic(rounds=1)``) and share agent-training runs through an
+on-disk cache, exactly like the paper reuses the same runs across Table 2,
+Fig. 7 and Fig. 8.
+
+Delete ``benchmarks/.mars_cache`` to retrain from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import fast_profile
+from repro.experiments.common import ExperimentContext
+
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".mars_cache")
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(config=fast_profile(), cache_dir=CACHE_DIR)
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,49 @@
+"""Quickstart: find a device placement for Inception-V3 with Mars.
+
+Builds the Inception-V3 computational graph, the paper's 4-GPU machine,
+and trains the Mars agent (DGI-pre-trained GCN encoder + segment-level
+seq2seq placer, PPO) for a handful of policy iterations.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ClusterSpec,
+    PlacementEnv,
+    build_inception_v3,
+    fast_profile,
+    gpu_only_placement,
+    optimize_placement,
+)
+
+
+def main():
+    # A scaled-down Inception-V3 keeps this example under a minute.
+    graph = build_inception_v3(scale=0.34)
+    cluster = ClusterSpec.default()  # 4x P100-12GB + Xeon host
+    print(graph.summary())
+
+    # 30 policy iterations keep this demo short; with ~40 the agent reaches
+    # the single-GPU optimum (see benchmarks/bench_table2.py).
+    config = fast_profile(seed=0, iterations=30)
+    result = optimize_placement(graph, cluster, agent_kind="mars", config=config)
+
+    history = result.history
+    print(f"\nsearched {history.total_samples} placements "
+          f"({history.sim_clock / 3600:.2f} simulated hours of agent training)")
+    print(f"best per-step time found: {history.best_runtime:.4f}s")
+    print(f"final 1000-step evaluation: {result.final_runtime:.4f}s")
+
+    # Compare against the GPU-only baseline.
+    env = PlacementEnv(graph, cluster)
+    baseline = env.final_run(gpu_only_placement(graph, cluster).devices)
+    print(f"GPU-only baseline:          {baseline:.4f}s")
+
+    placement = env.resolve(history.best_placement)
+    print("\nbest placement:", placement.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Critical-path analysis of a placed (or unplaced) graph."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph import CompGraph
+from repro.sim import ClusterSpec, CostModel, Placement
+
+
+def critical_path(
+    graph: CompGraph,
+    cluster: ClusterSpec,
+    placement: Optional[Placement] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Tuple[float, np.ndarray]:
+    """Longest dependency chain length and per-op longest-path-to value.
+
+    With a ``placement``, op times are taken on the assigned devices and
+    cut edges add transfer time; without one, each op takes its best-device
+    time and communication is ignored (a placement-independent lower
+    bound).
+    """
+    cm = cost_model or CostModel()
+    times_matrix = cm.op_time_matrix(graph, cluster)
+    if placement is not None:
+        op_times = times_matrix[np.arange(graph.num_nodes), placement.devices]
+    else:
+        op_times = times_matrix.min(axis=1)
+
+    order = (
+        range(graph.num_nodes)
+        if graph.is_topologically_indexed()
+        else graph.topological_order()
+    )
+    longest = np.zeros(graph.num_nodes)
+    for op in order:
+        best_pred = 0.0
+        for pred in graph.predecessors(op):
+            t = longest[pred]
+            if placement is not None and placement.devices[pred] != placement.devices[op]:
+                t += cm.transfer_time(graph.nodes[pred].output_bytes, cluster)
+            best_pred = max(best_pred, t)
+        longest[op] = best_pred + op_times[op]
+    total = float(longest.max()) if graph.num_nodes else 0.0
+    return total, longest
+
+
+def critical_path_ops(
+    graph: CompGraph,
+    cluster: ClusterSpec,
+    placement: Optional[Placement] = None,
+    cost_model: Optional[CostModel] = None,
+) -> List[int]:
+    """The op indices along one longest chain (sink to source order
+    reversed, i.e. returned source-first)."""
+    total, longest = critical_path(graph, cluster, placement, cost_model)
+    if graph.num_nodes == 0:
+        return []
+    cm = cost_model or CostModel()
+    path = [int(np.argmax(longest))]
+    while True:
+        op = path[-1]
+        preds = graph.predecessors(op)
+        if not preds:
+            break
+        # The predecessor whose chain (plus any transfer) feeds this op.
+        best, best_val = None, -1.0
+        for pred in preds:
+            t = longest[pred]
+            if placement is not None and placement.devices[pred] != placement.devices[op]:
+                t += cm.transfer_time(graph.nodes[pred].output_bytes, cluster)
+            if t > best_val:
+                best, best_val = pred, t
+        path.append(int(best))
+    return list(reversed(path))

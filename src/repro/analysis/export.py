@@ -1,0 +1,46 @@
+"""Export search histories and figure data to CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rl.trainer import SearchHistory
+
+
+def history_to_rows(history: SearchHistory) -> List[Dict[str, float]]:
+    """Flatten a :class:`SearchHistory` into per-iteration dict rows."""
+    rows = []
+    for rec in history.records:
+        valid = rec.valid_runtimes
+        rows.append(
+            {
+                "iteration": rec.iteration,
+                "samples": rec.samples_so_far,
+                "mean_valid_runtime": sum(valid) / len(valid) if valid else float("nan"),
+                "best_runtime": rec.best_runtime,
+                "n_invalid": rec.n_invalid,
+                "n_truncated": rec.n_truncated,
+                "baseline": rec.baseline,
+                "sim_clock_hours": rec.sim_clock / 3600.0,
+            }
+        )
+    return rows
+
+
+def curves_to_csv(
+    curves: Dict[str, Tuple[Sequence[int], Sequence[float]]], path: str = None
+) -> str:
+    """Write ``{series_name: (xs, ys)}`` as long-format CSV; returns text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["series", "samples", "runtime"])
+    for name, (xs, ys) in curves.items():
+        for x, y in zip(xs, ys):
+            writer.writerow([name, x, y])
+    text = buffer.getvalue()
+    if path:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text

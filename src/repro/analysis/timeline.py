@@ -1,0 +1,61 @@
+"""Per-device execution timelines (Gantt-style) from the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim import CostModel, Placement, Scheduler
+
+
+@dataclass
+class DeviceTimeline:
+    """Execution intervals on one device: ``(op_index, start, end)``."""
+
+    device: str
+    intervals: List[Tuple[int, float, float]]
+
+    @property
+    def busy_time(self) -> float:
+        return sum(end - start for _, start, end in self.intervals)
+
+
+def build_timeline(
+    placement: Placement, cost_model: Optional[CostModel] = None
+) -> List[DeviceTimeline]:
+    """Simulate the placement and collect intervals per device."""
+    result = Scheduler(cost_model).run_step(placement)
+    cluster = placement.cluster
+    timelines = [DeviceTimeline(d.name, []) for d in cluster.devices]
+    for op in np.argsort(result.start_times):
+        dev = placement.device_of(int(op))
+        timelines[dev].intervals.append(
+            (int(op), float(result.start_times[op]), float(result.finish_times[op]))
+        )
+    return timelines
+
+
+def render_timeline(
+    timelines: List[DeviceTimeline], width: int = 80, makespan: Optional[float] = None
+) -> str:
+    """ASCII Gantt chart: one row per device, '#' where the device is busy."""
+    if makespan is None:
+        makespan = max(
+            (iv[2] for tl in timelines for iv in tl.intervals), default=0.0
+        )
+    if makespan <= 0:
+        return "(empty timeline)"
+    name_w = max(len(tl.device) for tl in timelines)
+    lines = []
+    for tl in timelines:
+        row = [" "] * width
+        for _, start, end in tl.intervals:
+            lo = int(start / makespan * (width - 1))
+            hi = max(lo, int(end / makespan * (width - 1)))
+            for i in range(lo, hi + 1):
+                row[i] = "#"
+        lines.append(f"{tl.device.rjust(name_w)} |{''.join(row)}|")
+    lines.append(f"{' ' * name_w}  0{' ' * (width - 8)}{makespan * 1e3:6.1f}ms")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Chrome-trace (catapult) export of one simulated training step.
+
+The produced JSON loads in ``chrome://tracing`` / Perfetto, giving an
+interactive view of the per-device execution that the ASCII timeline only
+sketches.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.analysis.timeline import build_timeline
+from repro.sim import CostModel, Placement
+
+
+def placement_to_chrome_trace(
+    placement: Placement,
+    cost_model: Optional[CostModel] = None,
+    path: Optional[str] = None,
+) -> dict:
+    """Build (and optionally write) the trace document for one step."""
+    graph = placement.graph
+    events = []
+    for pid, timeline in enumerate(build_timeline(placement, cost_model)):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": timeline.device},
+            }
+        )
+        for op, start, end in timeline.intervals:
+            node = graph.nodes[op]
+            events.append(
+                {
+                    "name": node.name,
+                    "cat": node.op_type,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": start * 1e6,  # microseconds
+                    "dur": max((end - start) * 1e6, 0.01),
+                    "args": {
+                        "op_type": node.op_type,
+                        "flops": node.flops,
+                        "output_shape": list(node.output_shape),
+                    },
+                }
+            )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if path:
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+    return doc

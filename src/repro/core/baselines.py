@@ -1,0 +1,134 @@
+"""Static placement baselines (paper Section 4.1).
+
+* **GPU Only** — every GPU-compatible op on one GPU (valid only for models
+  that fit, e.g. Inception-V3).
+* **Human Expert** — the hand-crafted placements of Google's reference
+  implementations: single-GPU for the vision models (TF-Slim), per-layer
+  round-robin for GNMT (Google NMT), and no model parallelism for BERT
+  (which therefore OOMs, as in the paper's Table 2).
+* **Classical partitioner** — a Scotch-like balanced min-cut baseline
+  (recursive Kernighan–Lin bisection over the op graph), included because
+  the paper discusses why such solvers underperform: they optimize a static
+  proxy (cut size under load balance) rather than measured step time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+import numpy as np
+
+from repro.graph import CompGraph, topological_groups
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.placement import Placement, resolve_placement
+
+
+def gpu_only_placement(graph: CompGraph, cluster: ClusterSpec, gpu: int = 0) -> Placement:
+    """All GPU-compatible ops on ``cluster.gpu_indices[gpu]``."""
+    device = cluster.gpu_indices[gpu]
+    return resolve_placement(np.full(graph.num_nodes, device), graph, cluster)
+
+
+_LAYER_RE = re.compile(r"(?:^|/)(?:enc|dec)/l(\d+)/")
+_BLOCK_RE = re.compile(r"(?:^|/)layer(\d+)/")
+
+
+def human_expert_placement(graph: CompGraph, cluster: ClusterSpec) -> Placement:
+    """Reproduce the hand-crafted expert placement for each workload family.
+
+    The family is inferred from the graph's op names:
+
+    * RNN seq2seq graphs (``enc/l{i}``/``dec/l{i}`` ops): LSTM layer ``i``
+      goes to GPU ``i % num_gpus``; embeddings stay with the first layer's
+      device; the softmax/projection goes to the last GPU — Google's NMT
+      round-robin scheme.
+    * Transformer graphs (``layer{i}`` ops): no model-parallel reference
+      implementation exists (the paper notes BERT "does not support
+      multi-GPU training using model parallelism by default"), so the
+      expert placement is single-GPU — OOM for BERT, exactly as reported.
+    * Everything else (vision models): single GPU (TF-Slim).
+    """
+    gpus = cluster.gpu_indices
+    names = [n.name for n in graph.nodes]
+    is_rnn = any(_LAYER_RE.search(name) for name in names)
+    if not is_rnn:
+        return gpu_only_placement(graph, cluster)
+
+    actions = np.full(graph.num_nodes, gpus[0])
+    for i, name in enumerate(names):
+        m = _LAYER_RE.search(name)
+        if m:
+            actions[i] = gpus[int(m.group(1)) % len(gpus)]
+        elif name.startswith("proj/") or name.startswith("loss/"):
+            actions[i] = gpus[-1]
+        elif "embedding" in name:
+            actions[i] = gpus[0]
+        elif name.startswith("dec/attn"):
+            actions[i] = gpus[0]  # attention lives with decoder layer 0
+    return resolve_placement(actions, graph, cluster)
+
+
+def balanced_chain_placement(graph: CompGraph, cluster: ClusterSpec, k: Optional[int] = None) -> Placement:
+    """Contiguous topological chunks balanced by per-op compute time.
+
+    A strong non-learned heuristic: split the topological order into ``k``
+    contiguous ranges with (approximately) equal total best-device compute
+    time and map range ``j`` to GPU ``j``.
+    """
+    gpus = cluster.gpu_indices
+    k = k or len(gpus)
+    k = min(k, len(gpus))
+    cost = CostModel().op_time_matrix(graph, cluster).min(axis=1)
+    order = np.asarray(graph.topological_order())
+    cum = np.cumsum(cost[order])
+    bounds = np.searchsorted(cum, np.linspace(0, cum[-1], k + 1)[1:-1])
+    chunk_of_position = np.zeros(graph.num_nodes, dtype=np.int64)
+    for j, b in enumerate(bounds):
+        chunk_of_position[b:] = j + 1
+    actions = np.empty(graph.num_nodes, dtype=np.int64)
+    for position, op in enumerate(order):
+        actions[op] = gpus[chunk_of_position[position]]
+    return resolve_placement(actions, graph, cluster)
+
+
+def partitioner_placement(
+    graph: CompGraph, cluster: ClusterSpec, k: Optional[int] = None, seed: int = 0
+) -> Placement:
+    """Scotch-style balanced min-cut partitioning via recursive bisection.
+
+    Uses networkx's Kernighan–Lin bisection on the undirected op graph,
+    recursively, until ``k`` parts exist; parts are then mapped to GPUs.
+    """
+    import networkx as nx
+
+    gpus = cluster.gpu_indices
+    k = k or len(gpus)
+    k = min(k, len(gpus))
+    g = graph.to_networkx().to_undirected()
+    parts = [set(g.nodes)]
+    while len(parts) < k:
+        # Split the currently largest part.
+        parts.sort(key=len, reverse=True)
+        biggest = parts.pop(0)
+        if len(biggest) < 2:
+            parts.append(biggest)
+            break
+        sub = g.subgraph(biggest)
+        a, b = nx.algorithms.community.kernighan_lin_bisection(sub, seed=seed)
+        parts.extend([set(a), set(b)])
+    actions = np.zeros(graph.num_nodes, dtype=np.int64)
+    for j, part in enumerate(parts):
+        for node in part:
+            actions[node] = gpus[j % len(gpus)]
+    return resolve_placement(actions, graph, cluster)
+
+
+def round_robin_groups_placement(graph: CompGraph, cluster: ClusterSpec, n_groups: int) -> Placement:
+    """Topological grouping, groups dealt round-robin over GPUs (a weak
+    scattering baseline, useful in tests and ablations)."""
+    gpus = cluster.gpu_indices
+    groups = topological_groups(graph, n_groups)
+    actions = np.array([gpus[g % len(gpus)] for g in groups])
+    return resolve_placement(actions, graph, cluster)

@@ -1,0 +1,71 @@
+"""Saving and restoring trained agents.
+
+Checkpoints are ``.npz`` parameter archives plus a JSON sidecar recording
+the agent kind and workload, so a placement policy trained once can be
+reloaded and queried (or fine-tuned on another workload) later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import MarsConfig
+from repro.core.search import build_agent
+from repro.graph import CompGraph, FeatureExtractor
+from repro.rl.policy import PolicyAgent
+from repro.sim.cluster import ClusterSpec
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+
+def save_agent(path: str, agent: PolicyAgent, agent_kind: str, workload: str = "") -> None:
+    """Write ``path.npz`` (parameters) and ``path.json`` (metadata)."""
+    save_state_dict(path, agent.state_dict())
+    meta = {
+        "agent_kind": agent_kind,
+        "workload": workload,
+        "num_ops": agent.num_ops,
+        "num_devices": agent.num_devices,
+        "num_parameters": agent.num_parameters(),
+    }
+    with open(path + ".json", "w") as fh:
+        json.dump(meta, fh, indent=2)
+
+
+def load_agent(
+    path: str,
+    graph: CompGraph,
+    cluster: ClusterSpec,
+    config: MarsConfig,
+    feature_extractor: Optional[FeatureExtractor] = None,
+) -> Tuple[PolicyAgent, dict]:
+    """Rebuild the agent recorded at ``path`` over ``graph``.
+
+    The target graph may differ from the training graph (transfer); only
+    the device count must match, since the placer's output head is sized
+    by it.
+    """
+    with open(path + ".json") as fh:
+        meta = json.load(fh)
+    if meta["num_devices"] != cluster.num_devices:
+        raise ValueError(
+            f"checkpoint was trained for {meta['num_devices']} devices, "
+            f"cluster has {cluster.num_devices}"
+        )
+    kind = meta["agent_kind"]
+    # Pre-training is skipped on load: the checkpoint already carries the
+    # (possibly pre-trained) encoder weights.
+    load_kind = "mars_no_pretrain" if kind == "mars" else kind
+    agent, _ = build_agent(load_kind, graph, cluster, config, feature_extractor)
+    agent.load_state_dict(load_state_dict(path))
+    return agent, meta
+
+
+def greedy_placement(agent: PolicyAgent, env) -> np.ndarray:
+    """The policy's argmax placement, resolved against the environment's
+    constraints. Useful for deploying a trained agent without sampling."""
+    rollout = agent.sample(1, np.random.default_rng(0), greedy=True)
+    return env.resolve(rollout.placements[0]).devices

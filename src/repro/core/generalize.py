@@ -1,0 +1,98 @@
+"""Generalization across workloads (paper Section 4.3, Table 3).
+
+The agent is trained on one workload until it stops improving ("cannot
+find better placement for 100 steps"), its parameters are transferred to a
+fresh agent over the unseen workload (possible because the shared op-type
+vocabulary keeps feature spaces identical), and the policy is fine-tuned
+for 100 samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.config import MarsConfig, fast_profile
+from repro.core.agents import EncoderPlacerPolicy
+from repro.core.search import OptimizationResult, build_agent
+from repro.graph import CompGraph, FeatureExtractor
+from repro.rl.trainer import JointTrainer, SearchHistory
+from repro.sim.cluster import ClusterSpec
+from repro.sim.env import PlacementEnv
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.core.generalize")
+
+
+def transfer_agent(
+    source: EncoderPlacerPolicy,
+    target_graph: CompGraph,
+    cluster: ClusterSpec,
+    config: MarsConfig,
+    agent_kind: str = "mars_no_pretrain",
+    feature_extractor: Optional[FeatureExtractor] = None,
+) -> EncoderPlacerPolicy:
+    """A new agent over ``target_graph`` initialized from ``source``'s weights."""
+    fx = feature_extractor or source.feature_extractor
+    agent, _ = build_agent(agent_kind, target_graph, cluster, config, fx)
+    agent.load_state_dict(source.state_dict())
+    return agent
+
+
+@dataclass
+class GeneralizationResult:
+    train_workload: str
+    test_workload: str
+    train_history: SearchHistory
+    finetune_history: SearchHistory
+    final_runtime: float
+
+
+def generalization_run(
+    train_graph: CompGraph,
+    test_graph: CompGraph,
+    cluster: Optional[ClusterSpec] = None,
+    config: Optional[MarsConfig] = None,
+    finetune_samples: int = 100,
+    train_patience: int = 100,
+    agent_kind: str = "mars",
+    feature_extractor: Optional[FeatureExtractor] = None,
+    test_env: Optional[PlacementEnv] = None,
+) -> GeneralizationResult:
+    """Train on ``train_graph``, fine-tune and evaluate on ``test_graph``."""
+    cluster = cluster or ClusterSpec.default()
+    config = config or fast_profile()
+    fx = feature_extractor or FeatureExtractor()
+
+    # Phase 1: train on the source workload until improvement stalls.
+    source_env = PlacementEnv(train_graph, cluster)
+    agent, pretrain_clock = build_agent(agent_kind, train_graph, cluster, config, fx)
+    train_cfg = replace(config.trainer, patience_samples=train_patience)
+    train_history = SearchHistory(pretrain_clock=pretrain_clock)
+    train_history = JointTrainer(agent, source_env, train_cfg).train(train_history)
+
+    # Phase 2: transfer and fine-tune on the unseen workload.
+    target_agent = transfer_agent(
+        agent, test_graph, cluster, config, agent_kind="mars_no_pretrain", feature_extractor=fx
+    )
+    env = test_env or PlacementEnv(test_graph, cluster)
+    ft_iterations = max(1, finetune_samples // config.trainer.samples_per_policy)
+    ft_cfg = replace(
+        config.trainer,
+        iterations=ft_iterations,
+        early_stop_samples=finetune_samples,
+        patience_samples=None,
+    )
+    finetune_history = JointTrainer(target_agent, env, ft_cfg).train()
+
+    if finetune_history.best_placement is None:
+        final = float("nan")
+    else:
+        final = env.final_run(finetune_history.best_placement)
+    return GeneralizationResult(
+        train_workload=train_graph.name,
+        test_workload=test_graph.name,
+        train_history=train_history,
+        finetune_history=finetune_history,
+        final_runtime=final,
+    )

@@ -1,0 +1,124 @@
+"""The grouper-placer baseline (Hierarchical Planner, Mirhoseini et al. '18).
+
+A two-layer MLP grouper assigns each op to one of ``num_groups`` groups;
+group embeddings (mean op features per group) feed a seq2seq placer with
+attention which assigns one device per *group*. Both networks are trained
+jointly by policy gradient: the log-probability of a decision batch is the
+concatenation of per-op group log-probs and per-group device log-probs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.config import MarsConfig
+from repro.graph import CompGraph, FeatureExtractor
+from repro.nn import Tensor, concat, no_grad, stack
+from repro.placers import MLPGrouper, SegmentSeq2SeqPlacer
+from repro.rl.policy import AgentRollout, PolicyAgent
+from repro.sim.cluster import ClusterSpec
+from repro.utils.rng import new_rng
+
+
+class GrouperPlacerAgent(PolicyAgent):
+    """The hierarchical grouper-placer policy [20] over one workload graph.
+
+    Decisions are factored into per-op group choices (MLP grouper) and
+    per-group device choices (seq2seq placer with attention).
+    """
+
+    def __init__(
+        self,
+        graph: CompGraph,
+        cluster: ClusterSpec,
+        num_groups: int = 64,
+        grouper_hidden: int = 64,
+        placer_hidden: int = 64,
+        action_embed_dim: int = 16,
+        feature_extractor: FeatureExtractor = None,
+        rng=None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        self.graph = graph
+        self.cluster = cluster
+        self.num_ops = graph.num_nodes
+        self.num_devices = cluster.num_devices
+        self.num_groups = min(num_groups, max(2, graph.num_nodes))
+        fx = feature_extractor or FeatureExtractor()
+        self.features = fx(graph)
+        self.grouper = MLPGrouper(
+            self.features.shape[1], self.num_groups, hidden_size=grouper_hidden, rng=rng
+        )
+        # The hierarchical model's placer is a plain seq2seq with attention
+        # over the (short) group sequence.
+        self.placer = SegmentSeq2SeqPlacer(
+            self.features.shape[1],
+            self.num_devices,
+            hidden_size=placer_hidden,
+            segment_size=None,
+            action_embed_dim=action_embed_dim,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    def _placements_from(self, groups: np.ndarray, devices: np.ndarray) -> np.ndarray:
+        return np.take_along_axis(devices, groups, axis=1)
+
+    def sample(self, n_samples: int, rng, greedy: bool = False) -> AgentRollout:
+        rng = new_rng(rng)
+        with no_grad():
+            feats = Tensor(self.features)
+            groups, g_logp, _ = self.grouper.run(
+                feats, n_samples=n_samples, rng=rng, greedy=greedy
+            )
+            embeddings = MLPGrouper.group_embeddings(self.features, groups, self.num_groups)
+            dev_rows: List[np.ndarray] = []
+            d_logp_rows: List[np.ndarray] = []
+            for b in range(n_samples):
+                out = self.placer.run(Tensor(embeddings[b]), n_samples=1, rng=rng, greedy=greedy)
+                dev_rows.append(out.actions[0])
+                d_logp_rows.append(out.log_probs.data[0])
+        devices = np.stack(dev_rows)
+        old_logp = np.concatenate([g_logp.data, np.stack(d_logp_rows)], axis=1)
+        return AgentRollout(
+            placements=self._placements_from(groups, devices),
+            internal={"groups": groups, "devices": devices},
+            old_logp=old_logp,
+        )
+
+    def evaluate(self, internal: Dict[str, np.ndarray]) -> Tuple[Tensor, Tensor]:
+        groups = internal["groups"]
+        devices = internal["devices"]
+        feats = Tensor(self.features)
+        _, g_logp, g_ent = self.grouper.run(feats, actions=groups)
+        embeddings = MLPGrouper.group_embeddings(self.features, groups, self.num_groups)
+        d_logps, d_ents = [], []
+        for b in range(groups.shape[0]):
+            out = self.placer.run(Tensor(embeddings[b]), actions=devices[b : b + 1])
+            d_logps.append(out.log_probs.reshape(self.num_groups))
+            d_ents.append(out.entropy.reshape(self.num_groups))
+        d_logp = stack(d_logps, axis=0)
+        d_ent = stack(d_ents, axis=0)
+        return concat([g_logp, d_logp], axis=1), concat([g_ent, d_ent], axis=1)
+
+
+def build_grouper_placer_agent(
+    graph: CompGraph,
+    cluster: ClusterSpec,
+    config: MarsConfig,
+    feature_extractor: FeatureExtractor = None,
+) -> GrouperPlacerAgent:
+    """Construct the grouper-placer baseline from a :class:`MarsConfig`."""
+    return GrouperPlacerAgent(
+        graph,
+        cluster,
+        num_groups=config.grouper.num_groups,
+        grouper_hidden=config.grouper.hidden_size,
+        placer_hidden=config.placer.hidden_size,
+        action_embed_dim=config.placer.action_embed_dim,
+        feature_extractor=feature_extractor,
+        rng=config.seed,
+    )

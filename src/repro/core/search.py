@@ -1,0 +1,148 @@
+"""End-to-end placement optimization — the library's main entry point.
+
+``optimize_placement`` builds the requested agent, optionally pre-trains
+its encoder with contrastive learning, trains it jointly with PPO against
+the measurement environment, and reports the best placement's long-run
+per-step time (the paper's evaluation metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.config import MarsConfig, fast_profile
+from repro.core.agents import (
+    build_encoder_placer_agent,
+    build_mars_agent,
+    build_placer_study_agent,
+)
+from repro.core.grouper_placer import build_grouper_placer_agent
+from repro.graph import CompGraph, FeatureExtractor
+from repro.rl.policy import PolicyAgent
+from repro.rl.trainer import JointTrainer, SearchHistory
+from repro.sim.cluster import ClusterSpec
+from repro.sim.env import PlacementEnv
+from repro.sim.measurement import MeasurementProtocol
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.core.search")
+
+
+@dataclass
+class OptimizationResult:
+    """Everything an experiment needs from one agent-training run."""
+
+    workload: str
+    agent_kind: str
+    history: SearchHistory
+    final_runtime: float  # 1000-step evaluation of the best placement
+    agent: PolicyAgent
+    env: PlacementEnv
+
+    @property
+    def training_hours(self) -> float:
+        """Simulated agent-training time (the Fig. 8 quantity)."""
+        return self.history.sim_clock / 3600.0
+
+
+AGENT_BUILDERS: Dict[str, Callable] = {}
+
+
+def _register(name: str):
+    def deco(fn):
+        AGENT_BUILDERS[name] = fn
+        return fn
+
+    return deco
+
+
+@_register("mars")
+def _mars(graph, cluster, config, fx):
+    agent = build_mars_agent(graph, cluster, config, feature_extractor=fx)
+    pretrain_clock = agent.pretrain(config.pretrain, seed=config.seed)
+    return agent, pretrain_clock
+
+
+@_register("mars_no_pretrain")
+def _mars_np(graph, cluster, config, fx):
+    return build_mars_agent(graph, cluster, config, feature_extractor=fx), 0.0
+
+
+@_register("encoder_placer")
+def _gdp(graph, cluster, config, fx):
+    return build_encoder_placer_agent(graph, cluster, config, feature_extractor=fx), 0.0
+
+
+@_register("grouper_placer")
+def _hier(graph, cluster, config, fx):
+    return build_grouper_placer_agent(graph, cluster, config, feature_extractor=fx), 0.0
+
+
+for _placer_kind in ("seq2seq", "segment_seq2seq", "transformer_xl", "mlp"):
+
+    def _make(placer_kind):
+        def build(graph, cluster, config, fx):
+            agent = build_placer_study_agent(
+                graph, cluster, config, placer_kind, feature_extractor=fx
+            )
+            pretrain_clock = agent.pretrain(config.pretrain, seed=config.seed)
+            # Table 1 trains the placers on *fixed* representations from the
+            # trained encoder, isolating the placer design.
+            agent.freeze_encoder = True
+            return agent, pretrain_clock
+
+        return build
+
+    AGENT_BUILDERS[f"study:{_placer_kind}"] = _make(_placer_kind)
+
+
+def build_agent(
+    kind: str,
+    graph: CompGraph,
+    cluster: ClusterSpec,
+    config: MarsConfig,
+    feature_extractor: Optional[FeatureExtractor] = None,
+):
+    """Build agent ``kind``; returns ``(agent, simulated_pretrain_seconds)``."""
+    try:
+        builder = AGENT_BUILDERS[kind]
+    except KeyError as exc:
+        raise KeyError(f"unknown agent kind {kind!r}; options: {sorted(AGENT_BUILDERS)}") from exc
+    return builder(graph, cluster, config, feature_extractor)
+
+
+def optimize_placement(
+    graph: CompGraph,
+    cluster: Optional[ClusterSpec] = None,
+    agent_kind: str = "mars",
+    config: Optional[MarsConfig] = None,
+    protocol: Optional[MeasurementProtocol] = None,
+    env: Optional[PlacementEnv] = None,
+    feature_extractor: Optional[FeatureExtractor] = None,
+) -> OptimizationResult:
+    """Find a placement for ``graph`` with agent ``agent_kind``."""
+    cluster = cluster or ClusterSpec.default()
+    config = config or fast_profile()
+    env = env or PlacementEnv(graph, cluster, protocol=protocol)
+
+    agent, pretrain_clock = build_agent(agent_kind, graph, cluster, config, feature_extractor)
+    history = SearchHistory(pretrain_clock=pretrain_clock)
+    trainer = JointTrainer(agent, env, config.trainer)
+    history = trainer.train(history)
+
+    if history.best_placement is None:
+        logger.warning("%s/%s never found a valid placement", graph.name, agent_kind)
+        final = float("nan")
+    else:
+        final = env.final_run(history.best_placement)
+    return OptimizationResult(
+        workload=graph.name,
+        agent_kind=agent_kind,
+        history=history,
+        final_runtime=final,
+        agent=agent,
+        env=env,
+    )

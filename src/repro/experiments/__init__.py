@@ -1,0 +1,26 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — placer-design study (Table 1)
+* :mod:`repro.experiments.table2` — final placement quality (Table 2)
+* :mod:`repro.experiments.table3` — generalization (Table 3)
+* :mod:`repro.experiments.fig7` — search curves (Fig. 7a/7b)
+* :mod:`repro.experiments.fig8` — agent training time (Fig. 8)
+
+Run everything from the command line::
+
+    python -m repro.experiments.runner all
+"""
+
+from repro.experiments.common import (
+    EVAL_WORKLOADS,
+    WORKLOAD_SPECS,
+    ExperimentContext,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "EVAL_WORKLOADS",
+    "WORKLOAD_SPECS",
+    "ExperimentContext",
+    "WorkloadSpec",
+]

@@ -1,0 +1,98 @@
+"""Fig. 7 — per-step runtime of placements found during training.
+
+Two panels: (a) Inception-V3 and (b) GNMT-4; three RL approaches each
+(Mars, Grouper-Placer, Encoder-Placer). Each point averages the valid
+placements sampled from one policy; placements slower than 20 s are
+discarded, as in the paper's plotting procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext, WORKLOAD_SPECS, format_table
+
+FIG7_WORKLOADS = ("inception_v3", "gnmt4")
+FIG7_AGENTS = [
+    ("mars", "Mars"),
+    ("grouper_placer", "Grouper-Placer"),
+    ("encoder_placer", "Encoder-Placer"),
+]
+
+MAX_PLOTTED_RUNTIME = 20.0
+
+Series = Tuple[List[int], List[float]]
+
+
+def run_fig7(
+    ctx: ExperimentContext,
+    workloads: Sequence[str] = FIG7_WORKLOADS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Series]]:
+    """Returns ``{workload: {agent_title: (sample_idx, runtime)}}``."""
+    curves: Dict[str, Dict[str, Series]] = {}
+    for wl in workloads:
+        curves[wl] = {}
+        for kind, title in FIG7_AGENTS:
+            summary = ctx.run(wl, kind, seed=seed)
+            xs = summary.curve_samples
+            ys = [min(y, MAX_PLOTTED_RUNTIME) for y in summary.curve_runtimes]
+            curves[wl][title] = (xs, ys)
+    return curves
+
+
+def render_fig7(curves: Dict[str, Dict[str, Series]], points: int = 12) -> str:
+    """Render the curves as a downsampled text table (one per panel)."""
+    blocks = []
+    for wl, agents in curves.items():
+        max_samples = max((xs[-1] for xs, _ in agents.values() if xs), default=0)
+        grid = np.linspace(0, max_samples, points)[1:]
+        headers = ["steps"] + list(agents)
+        rows = []
+        for g in grid:
+            row = [str(int(g))]
+            for title, (xs, ys) in agents.items():
+                if not xs:
+                    row.append("-")
+                    continue
+                idx = int(np.searchsorted(xs, g, side="right")) - 1
+                row.append(f"{ys[max(idx, 0)]:.3f}" if idx >= 0 else "-")
+            rows.append(row)
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title=f"Fig 7 ({WORKLOAD_SPECS[wl].title}): mean per-step runtime (s) of sampled placements",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def convergence_summary(curves: Dict[str, Dict[str, Series]]) -> str:
+    """The paper's headline reading of Fig. 7: who converges first."""
+    lines = []
+    for wl, agents in curves.items():
+        for title, (xs, ys) in agents.items():
+            if not ys:
+                continue
+            best = min(ys)
+            threshold = best * 1.05
+            conv = next(x for x, y in zip(xs, ys) if y <= threshold)
+            lines.append(
+                f"{WORKLOAD_SPECS[wl].title:14s} {title:16s} reaches within 5% of its best ({best:.3f}s) at step {conv}"
+            )
+    return "\n".join(lines)
+
+
+def main(ctx: ExperimentContext = None) -> str:
+    ctx = ctx or ExperimentContext()
+    curves = run_fig7(ctx)
+    text = render_fig7(curves) + "\n\n" + convergence_summary(curves)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

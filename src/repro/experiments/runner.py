@@ -1,0 +1,96 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.runner table1
+    python -m repro.experiments.runner table2 --seed 1
+    python -m repro.experiments.runner all --cache-dir .mars_cache
+    mars-experiments fig7 --workloads inception_v3
+
+Runs are cached per (workload, agent, seed, iterations); tables and
+figures that share runs (Table 2, Fig. 7, Fig. 8) reuse them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+from repro.config import fast_profile, paper_profile
+from repro.experiments import fig7, fig8, table1, table2, table3
+from repro.experiments.common import EVAL_WORKLOADS, ExperimentContext
+from repro.utils.logging import set_verbosity
+
+def _seeds(args):
+    return list(range(args.seed, args.seed + args.seeds))
+
+
+def _table2(ctx, args):
+    text = table2.render_table2(table2.run_table2(ctx, seeds=_seeds(args)))
+    print(text)
+    return text
+
+
+def _fig8(ctx, args):
+    text = fig8.render_fig8(fig8.run_fig8(ctx, seeds=_seeds(args)))
+    print(text)
+    return text
+
+
+EXPERIMENTS = {
+    "table1": lambda ctx, args: table1.main(ctx),
+    "table2": _table2,
+    "table3": lambda ctx, args: table3.main(ctx),
+    "fig7": lambda ctx, args: fig7.main(ctx),
+    "fig8": _fig8,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mars-experiments",
+        description="Regenerate the tables and figures of the Mars paper (ICPP 2021).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="average Table 2 / Fig 8 over this many consecutive seeds",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["fast", "paper"],
+        default="fast",
+        help="'paper' uses Section 4.2 hyper-parameters (very slow on CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for cached run results (shared across experiments)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        set_verbosity(logging.DEBUG)
+    config = paper_profile() if args.profile == "paper" else fast_profile(seed=args.seed)
+    ctx = ExperimentContext(config=config, cache_dir=args.cache_dir)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n===== {name} =====")
+        EXPERIMENTS[name](ctx, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

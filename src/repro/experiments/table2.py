@@ -1,0 +1,87 @@
+"""Table 2 — per-step runtime of the best placements per approach.
+
+Columns: Human Expert, GPU-Only, Grouper-Placer [20], Encoder-Placer [33],
+Mars, Mars (no pre-training).
+
+Paper values (seconds):
+    Inception-V3: 0.071 / 0.071 / 0.067 / 0.067 / 0.067 / 0.067
+    GNMT-4:       1.661 /  OOM  / 1.418 / 1.437 / 1.379 / 1.396
+    BERT:          OOM  /  OOM  / 12.661 / 11.737 / 9.214 / 11.363
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.baselines import gpu_only_placement, human_expert_placement
+from repro.experiments.common import (
+    EVAL_WORKLOADS,
+    ExperimentContext,
+    WORKLOAD_SPECS,
+    fmt_runtime,
+    format_table,
+)
+
+RL_AGENTS = [
+    ("grouper_placer", "Grouper-Placer"),
+    ("encoder_placer", "Encoder-Placer"),
+    ("mars", "Mars"),
+    ("mars_no_pretrain", "Mars (no pre-training)"),
+]
+
+STATIC_BASELINES = [
+    ("Human Experts", human_expert_placement),
+    ("GPU Only", gpu_only_placement),
+]
+
+PAPER_VALUES = {
+    "inception_v3": [0.071, 0.071, 0.067, 0.067, 0.067, 0.067],
+    "gnmt4": [1.661, float("nan"), 1.418, 1.437, 1.379, 1.396],
+    "bert": [float("nan"), float("nan"), 12.661, 11.737, 9.214, 11.363],
+}
+
+
+def run_table2(
+    ctx: ExperimentContext,
+    workloads: Sequence[str] = EVAL_WORKLOADS,
+    seed: int = 0,
+    seeds: Sequence[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """``seeds`` (when given) averages each RL entry over several runs."""
+    seeds = list(seeds) if seeds is not None else [seed]
+    results: Dict[str, Dict[str, float]] = {}
+    for wl in workloads:
+        row: Dict[str, float] = {}
+        for title, fn in STATIC_BASELINES:
+            row[title] = ctx.static_runtime(wl, fn)
+        for kind, title in RL_AGENTS:
+            values = [ctx.run(wl, kind, seed=s).final_runtime for s in seeds]
+            row[title] = float(np.mean(values))
+        results[wl] = row
+    return results
+
+
+def render_table2(results: Dict[str, Dict[str, float]]) -> str:
+    titles = [t for t, _ in STATIC_BASELINES] + [t for _, t in RL_AGENTS]
+    headers = ["Models"] + titles
+    rows: List[List[str]] = []
+    for wl, row in results.items():
+        rows.append([WORKLOAD_SPECS[wl].title] + [fmt_runtime(row[t]) for t in titles])
+    return format_table(
+        headers,
+        rows,
+        title="Table 2: per-step runtime (s) of the best placements found",
+    )
+
+
+def main(ctx: ExperimentContext = None) -> str:
+    ctx = ctx or ExperimentContext()
+    text = render_table2(run_table2(ctx))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

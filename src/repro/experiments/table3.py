@@ -1,0 +1,111 @@
+"""Table 3 — generalizability of Mars (Section 4.3).
+
+The agent trained on one workload is fine-tuned for 100 samples on an
+unseen workload:
+
+* similar type:   VGG16 -> Inception-V3, seq2seq -> GNMT-4, Transformer -> BERT
+* different type: GNMT-4 -> Inception-V3, Inception-V3 -> GNMT-4, VGG16 -> BERT
+
+Paper values (seconds), direct / similar / different:
+    Inception-V3: 0.067 / 0.067 / 0.067
+    GNMT-4:       1.379 / 1.422 / 1.472
+    BERT:         9.214 / 10.127 / 12.426
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.config import with_seed
+from repro.core.generalize import generalization_run
+from repro.experiments.common import (
+    EVAL_WORKLOADS,
+    ExperimentContext,
+    WORKLOAD_SPECS,
+    fmt_runtime,
+    format_table,
+)
+
+#: test workload -> (similar-type trainer, different-type trainer)
+TRANSFER_PAIRS = {
+    "inception_v3": ("vgg16", "gnmt4"),
+    "gnmt4": ("seq2seq", "inception_v3"),
+    "bert": ("transformer", "vgg16"),
+}
+
+PAPER_VALUES = {
+    "inception_v3": [0.067, 0.067, 0.067],
+    "gnmt4": [1.379, 1.422, 1.472],
+    "bert": [9.214, 10.127, 12.426],
+}
+
+
+def run_table3(
+    ctx: ExperimentContext,
+    workloads: Sequence[str] = EVAL_WORKLOADS,
+    seed: int = 0,
+    finetune_samples: int = 100,
+    train_patience: int = 100,
+) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for wl in workloads:
+        spec = WORKLOAD_SPECS[wl]
+        direct = ctx.run(wl, "mars", seed=seed).final_runtime
+        row = {"Direct training": direct}
+        for label, train_key in zip(
+            ("Generalized from similar type", "Generalized from different type"),
+            TRANSFER_PAIRS[wl],
+        ):
+            train_spec = WORKLOAD_SPECS[train_key]
+            config = with_seed(ctx.config, seed)
+            config = replace(
+                config,
+                trainer=replace(config.trainer, iterations=train_spec.iterations),
+            )
+
+            def run_transfer(train_key=train_key, config=config):
+                gen = generalization_run(
+                    ctx.graph(train_key),
+                    ctx.graph(wl),
+                    cluster=spec.build_cluster(),
+                    config=config,
+                    finetune_samples=finetune_samples,
+                    train_patience=train_patience,
+                    feature_extractor=ctx.feature_extractor,
+                )
+                return gen.final_runtime
+
+            row[label] = ctx.memo(
+                f"gen__{train_key}__{wl}__s{seed}__f{finetune_samples}", run_transfer
+            )
+        results[wl] = row
+    return results
+
+
+def render_table3(results: Dict[str, Dict[str, float]]) -> str:
+    titles = [
+        "Direct training",
+        "Generalized from similar type",
+        "Generalized from different type",
+    ]
+    headers = ["Unseen workloads"] + titles
+    rows: List[List[str]] = []
+    for wl, row in results.items():
+        rows.append([WORKLOAD_SPECS[wl].title] + [fmt_runtime(row[t]) for t in titles])
+    return format_table(
+        headers,
+        rows,
+        title="Table 3: per-step time (s), direct training vs generalization",
+    )
+
+
+def main(ctx: ExperimentContext = None) -> str:
+    ctx = ctx or ExperimentContext()
+    text = render_table3(run_table3(ctx))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

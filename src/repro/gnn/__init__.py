@@ -1,0 +1,16 @@
+"""Graph encoders and self-supervised contrastive pre-training (paper §3.1-3.2)."""
+
+from repro.gnn.gcn import GCNLayer, GCNEncoder
+from repro.gnn.sage import GraphSAGEEncoder
+from repro.gnn.dgi import DGI, node_permutation
+from repro.gnn.pretrain import pretrain_encoder, PretrainResult
+
+__all__ = [
+    "GCNLayer",
+    "GCNEncoder",
+    "GraphSAGEEncoder",
+    "DGI",
+    "node_permutation",
+    "pretrain_encoder",
+    "PretrainResult",
+]

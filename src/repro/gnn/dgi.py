@@ -1,0 +1,73 @@
+"""Deep Graph Infomax (Veličković et al., 2019) — paper Section 3.2.
+
+The self-supervised objective Mars pre-trains its encoder with:
+
+1. corruption ``(X̃, Ã) ~ C(X, A)`` — node (feature-row) permutation, the
+   graph structure is kept (Eq. 2, Fig. 5);
+2. node representations ``H = GCNs(X, A)`` (Eq. 3);
+3. readout ``s = σ(mean_i h_i)`` (Eq. 4);
+4. bilinear discriminator ``D(h, s) = σ(hᵀ W s)`` (Eq. 5);
+5. binary cross-entropy between positive pairs (real nodes vs. summary) and
+   negative pairs (corrupted nodes vs. summary) — the Jensen-Shannon MI
+   bound of Eq. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn import Module, Parameter, Tensor, concat
+from repro.nn.functional import bce_with_logits
+from repro.nn import init as nn_init
+from repro.utils.rng import new_rng
+
+
+def node_permutation(x: np.ndarray, rng) -> np.ndarray:
+    """The corruption function: shuffle feature rows between nodes."""
+    rng = new_rng(rng)
+    perm = rng.permutation(x.shape[0])
+    return x[perm]
+
+
+class DGI(Module):
+    """Wraps an encoder with the DGI readout/discriminator and loss."""
+
+    def __init__(self, encoder: Module, rng=None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.encoder = encoder
+        dim = encoder.out_dim
+        self.w_disc = Parameter(nn_init.xavier_uniform(rng, dim, dim))
+
+    def readout(self, h: Tensor) -> Tensor:
+        """Graph summary: sigmoid of the node-representation mean (Eq. 4)."""
+        return h.mean(axis=0).sigmoid()
+
+    def discriminator_logits(self, h: Tensor, summary: Tensor) -> Tensor:
+        """Raw bilinear scores ``hᵀ W s`` (the sigmoid lives in the loss)."""
+        return h @ self.w_disc @ summary
+
+    def loss(self, x: np.ndarray, adj: sp.spmatrix, rng) -> Tensor:
+        """One contrastive step: corrupt, encode both views, score, BCE."""
+        x_neg = node_permutation(x, rng)
+        h_pos = self.encoder(x, adj)
+        h_neg = self.encoder(x_neg, adj)
+        summary = self.readout(h_pos)
+        logits_pos = self.discriminator_logits(h_pos, summary)
+        logits_neg = self.discriminator_logits(h_neg, summary)
+        logits = concat([logits_pos, logits_neg], axis=0)
+        labels = np.concatenate([np.ones(len(h_pos)), np.zeros(len(h_neg))])
+        return bce_with_logits(logits, labels)
+
+    def accuracy(self, x: np.ndarray, adj: sp.spmatrix, rng) -> float:
+        """Discriminator accuracy on a fresh corruption (diagnostics)."""
+        x_neg = node_permutation(x, rng)
+        h_pos = self.encoder(x, adj)
+        h_neg = self.encoder(x_neg, adj)
+        summary = self.readout(h_pos)
+        pos = self.discriminator_logits(h_pos, summary).data > 0
+        neg = self.discriminator_logits(h_neg, summary).data <= 0
+        return float((pos.sum() + neg.sum()) / (len(pos) + len(neg)))

@@ -1,0 +1,56 @@
+"""Graph convolutional network encoder (paper Eq. 1/3).
+
+``GCN(X, A) = PReLU( D̂^{-1/2} Â D̂^{-1/2} X Θ )`` — Mars stacks three such
+layers with 256 hidden units each (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn import Module, PReLU, Tensor
+from repro.nn.functional import spmm
+from repro.nn.linear import Linear
+from repro.utils.rng import new_rng
+
+
+class GCNLayer(Module):
+    """One graph convolution with PReLU activation."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng=None):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, bias=True, rng=rng)
+        self.act = PReLU()
+
+    def forward(self, x: Tensor, adj: sp.spmatrix) -> Tensor:
+        return self.act(spmm(adj, self.linear(x)))
+
+
+class GCNEncoder(Module):
+    """The Mars graph encoder: ``num_layers`` GCN layers (default 3)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int = 256, num_layers: int = 3, rng=None):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one GCN layer")
+        rng = new_rng(rng)
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.layers: List[GCNLayer] = []
+        for i in range(num_layers):
+            layer = GCNLayer(in_dim if i == 0 else hidden_dim, hidden_dim, rng=rng)
+            self.register_module(f"gcn{i}", layer)
+            self.layers.append(layer)
+
+    @property
+    def out_dim(self) -> int:
+        return self.hidden_dim
+
+    def forward(self, x: Union[np.ndarray, Tensor], adj: sp.spmatrix) -> Tensor:
+        h = x if isinstance(x, Tensor) else Tensor(x)
+        for layer in self.layers:
+            h = layer(h, adj)
+        return h

@@ -1,0 +1,65 @@
+"""GraphSAGE encoder (Hamilton et al., 2017) — the encoder used by the
+encoder-placer baseline, GDP [33].
+
+Mean aggregator: ``h' = act( W_self h + W_neigh · mean_{j∈N(i)} h_j )``.
+The neighbor mean is computed with a row-normalized adjacency (no self
+loops), so isolated nodes simply aggregate a zero vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn import Module, Tensor
+from repro.nn.functional import spmm
+from repro.nn.linear import Linear
+from repro.utils.rng import new_rng
+
+
+def row_normalized_adjacency(adj: sp.spmatrix) -> sp.csr_matrix:
+    """``D^{-1} A`` with zero rows left at zero."""
+    adj = adj.tocsr()
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+    return (sp.diags(inv) @ adj).tocsr()
+
+
+class SAGELayer(Module):
+    def __init__(self, in_dim: int, out_dim: int, rng=None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.w_self = Linear(in_dim, out_dim, bias=True, rng=rng)
+        self.w_neigh = Linear(in_dim, out_dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, mean_adj: sp.spmatrix) -> Tensor:
+        return (self.w_self(x) + self.w_neigh(spmm(mean_adj, x))).relu()
+
+
+class GraphSAGEEncoder(Module):
+    """A stack of mean-aggregator SAGE layers."""
+
+    def __init__(self, in_dim: int, hidden_dim: int = 256, num_layers: int = 3, rng=None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.layers: List[SAGELayer] = []
+        for i in range(num_layers):
+            layer = SAGELayer(in_dim if i == 0 else hidden_dim, hidden_dim, rng=rng)
+            self.register_module(f"sage{i}", layer)
+            self.layers.append(layer)
+
+    @property
+    def out_dim(self) -> int:
+        return self.hidden_dim
+
+    def forward(self, x: Union[np.ndarray, Tensor], adj: sp.spmatrix) -> Tensor:
+        """``adj`` is a plain (binary) adjacency; it is row-normalized here."""
+        mean_adj = row_normalized_adjacency(adj)
+        h = x if isinstance(x, Tensor) else Tensor(x)
+        for layer in self.layers:
+            h = layer(h, mean_adj)
+        return h

@@ -1,0 +1,70 @@
+"""Computational-graph (de)serialization.
+
+Graphs round-trip through a simple JSON document so users can persist
+custom workloads or import graphs produced by external tracers::
+
+    {"name": ..., "nodes": [{"name", "op_type", "output_shape", "flops",
+     "param_bytes", "activation_bytes", "cpu_only", "colocation_group"}...],
+     "edges": [[src_name, dst_name], ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.graph.graph import CompGraph
+from repro.graph.node import OpNode
+
+
+def graph_to_dict(graph: CompGraph) -> dict:
+    return {
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "output_shape": list(n.output_shape),
+                "flops": n.flops,
+                "param_bytes": n.param_bytes,
+                "activation_bytes": n.activation_bytes,
+                "cpu_only": n.cpu_only,
+                "colocation_group": n.colocation_group,
+            }
+            for n in graph.nodes
+        ],
+        "edges": [[graph.nodes[u].name, graph.nodes[v].name] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(doc: dict) -> CompGraph:
+    graph = CompGraph(doc.get("name", "graph"))
+    for spec in doc["nodes"]:
+        graph.add_node(
+            OpNode(
+                name=spec["name"],
+                op_type=spec["op_type"],
+                output_shape=tuple(spec.get("output_shape", ())),
+                flops=spec.get("flops", 0.0),
+                param_bytes=spec.get("param_bytes", 0.0),
+                activation_bytes=spec.get("activation_bytes", 0.0),
+                cpu_only=spec.get("cpu_only", False),
+                colocation_group=spec.get("colocation_group"),
+            )
+        )
+    for src, dst in doc.get("edges", ()):
+        graph.add_edge(src, dst)
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: CompGraph, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(graph), fh)
+
+
+def load_graph(source: Union[str, dict]) -> CompGraph:
+    if isinstance(source, dict):
+        return graph_from_dict(source)
+    with open(source) as fh:
+        return graph_from_dict(json.load(fh))

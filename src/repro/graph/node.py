@@ -1,0 +1,65 @@
+"""Operation nodes of a computational graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class OpNode:
+    """One operation in a workload's computational graph.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the graph (e.g. ``"encoder/layer0/matmul"``).
+    op_type:
+        Operation kind (``"Conv2D"``, ``"MatMul"``, ``"LSTMCell"``, ...);
+        one-hot encoded into the node features (paper Section 3.1).
+    output_shape:
+        Logical shape of the output tensor, used both as a feature and to
+        compute communication volume (bytes) across devices.
+    flops:
+        Floating-point operations for one forward execution. The simulator
+        multiplies by a backward factor for training steps.
+    param_bytes:
+        Bytes of trainable parameters resident wherever the op is placed.
+    activation_bytes:
+        Bytes of the output activation that must be kept for the backward
+        pass (dominates memory for big-batch training).
+    cpu_only:
+        True for ops that cannot run on an accelerator (input pipeline,
+        control flow) — mirrors "GPU-incompatible operations" in the paper.
+    colocation_group:
+        Ops sharing a group must be placed on the same device (TF uses this
+        for variables and their updates). ``None`` means unconstrained.
+    """
+
+    name: str
+    op_type: str
+    output_shape: Tuple[int, ...] = ()
+    flops: float = 0.0
+    param_bytes: float = 0.0
+    activation_bytes: float = 0.0
+    cpu_only: bool = False
+    colocation_group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("OpNode requires a non-empty name")
+        if self.flops < 0 or self.param_bytes < 0 or self.activation_bytes < 0:
+            raise ValueError(f"negative cost attribute on {self.name}")
+        self.output_shape = tuple(int(s) for s in self.output_shape)
+
+    @property
+    def output_elements(self) -> int:
+        n = 1
+        for s in self.output_shape:
+            n *= s
+        return n
+
+    @property
+    def output_bytes(self) -> float:
+        """Bytes sent to a consumer on another device (float32 tensors)."""
+        return 4.0 * self.output_elements

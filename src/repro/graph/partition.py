@@ -1,0 +1,56 @@
+"""Grouping utilities.
+
+The grouper-placer baseline [20] learns its grouping, but several places in
+the library need *deterministic* groupings: merging op features into group
+embeddings, the human-expert layer placements, and the min-cut baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.graph import CompGraph
+
+
+def group_contiguous(n_items: int, n_groups: int) -> np.ndarray:
+    """Assign ``n_items`` sequence positions to ``n_groups`` contiguous
+    groups of near-equal size. Returns an int array of group ids."""
+    if n_groups <= 0:
+        raise ValueError("n_groups must be positive")
+    n_groups = min(n_groups, max(n_items, 1))
+    bounds = np.linspace(0, n_items, n_groups + 1).astype(int)
+    groups = np.zeros(n_items, dtype=np.int64)
+    for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+        groups[lo:hi] = g
+    return groups
+
+
+def topological_groups(graph: CompGraph, n_groups: int) -> np.ndarray:
+    """Group ops by contiguous ranges of the topological order.
+
+    Ops that are adjacent in topological order are usually adjacent in the
+    data flow, so contiguous grouping yields low-communication partitions —
+    the same intuition behind the paper's segment-level placement.
+    """
+    order = graph.topological_order()
+    groups = np.zeros(graph.num_nodes, dtype=np.int64)
+    by_position = group_contiguous(graph.num_nodes, n_groups)
+    for position, node_idx in enumerate(order):
+        groups[node_idx] = by_position[position]
+    return groups
+
+
+def group_feature_means(features: np.ndarray, groups: np.ndarray, n_groups: int) -> np.ndarray:
+    """Mean feature vector per group (the grouper-placer's group embedding).
+
+    Empty groups get zero vectors.
+    """
+    dim = features.shape[1]
+    out = np.zeros((n_groups, dim))
+    counts = np.bincount(groups, minlength=n_groups).astype(float)
+    np.add.at(out, groups, features)
+    nonzero = counts > 0
+    out[nonzero] /= counts[nonzero, None]
+    return out

@@ -1,0 +1,37 @@
+"""Context-based input attention (Bahdanau et al., 2015).
+
+This is the attention mechanism named in Section 4.2 of the paper: the
+decoder state queries the encoder memory, producing a context vector that is
+concatenated with the decoder input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.nn.functional import softmax
+from repro.utils.rng import new_rng
+
+
+class BahdanauAttention(Module):
+    """Additive attention: ``score = vᵀ tanh(W_m mem + W_q query)``."""
+
+    def __init__(self, memory_size: int, query_size: int, attn_size: int, rng=None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.w_memory = Linear(memory_size, attn_size, bias=False, rng=rng)
+        self.w_query = Linear(query_size, attn_size, bias=True, rng=rng)
+        self.v = Parameter(rng.uniform(-0.1, 0.1, size=attn_size))
+
+    def forward(self, memory: Tensor, query: Tensor) -> Tensor:
+        """Attend over ``memory (T,B,M)`` with ``query (B,Q)`` -> ``(B,M)``."""
+        keys = self.w_memory(memory)  # (T, B, A)
+        q = self.w_query(query)  # (B, A)
+        scores = ((keys + q).tanh() @ self.v)  # (T, B)
+        weights = softmax(scores, axis=0)  # over time
+        # context_b = sum_t weights[t,b] * memory[t,b,:]
+        context = (memory * weights.reshape(weights.shape[0], weights.shape[1], 1)).sum(axis=0)
+        return context

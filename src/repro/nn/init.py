@@ -1,0 +1,32 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int, shape=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def uniform(rng: np.random.Generator, shape, scale: float = 0.1) -> np.ndarray:
+    """Uniform in ``[-scale, scale]`` — the classic seq2seq LSTM init."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init (used for recurrent kernels)."""
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)

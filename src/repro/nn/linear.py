@@ -1,0 +1,59 @@
+"""Dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Accepts inputs of shape ``(..., in_features)``.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features))
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.has_bias:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """A stack of Linear layers with a configurable activation in between."""
+
+    def __init__(self, sizes, activation: str = "relu", bias: bool = True, rng=None):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and output size")
+        rng = new_rng(rng)
+        self.sizes = tuple(sizes)
+        self.activation = activation
+        self.layers = []
+        for i, (a, b) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layer = Linear(a, b, bias=bias, rng=rng)
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn.activations import apply_activation
+
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = apply_activation(x, self.activation)
+        return x

@@ -1,0 +1,26 @@
+"""Layer normalization (used by the Transformer-XL placer)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class LayerNorm(Module):
+    """Normalize over the last axis with learnable affine parameters."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        norm = centered / (var + self.eps).sqrt()
+        return norm * self.gamma + self.beta

@@ -1,0 +1,153 @@
+"""Transformer-XL style layers for the encoder-placer baseline (GDP [33]).
+
+The defining features of Transformer-XL (Dai et al., 2019) are (1)
+segment-level recurrence — each segment attends over a cached memory of the
+previous segments' hidden states — and (2) relative positional information.
+We implement both. For the positional term we use a learnable relative
+position *bias* added to the attention logits (the T5 parameterization)
+instead of Dai et al.'s factored r/u/v form; it preserves the
+relative-position inductive bias with fewer moving parts. This substitution
+is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.norm import LayerNorm
+from repro.nn.tensor import Tensor, concat
+from repro.nn.functional import softmax
+from repro.utils.rng import new_rng
+
+
+class RelativeMultiHeadAttention(Module):
+    """Multi-head attention over ``[memory; segment]`` with relative bias."""
+
+    def __init__(self, dim: int, n_heads: int, max_rel_dist: int = 512, rng=None):
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError("dim must be divisible by n_heads")
+        rng = new_rng(rng)
+        self.dim = dim
+        self.n_heads = n_heads
+        self.d_head = dim // n_heads
+        self.max_rel_dist = max_rel_dist
+        self.w_q = Linear(dim, dim, bias=False, rng=rng)
+        self.w_k = Linear(dim, dim, bias=False, rng=rng)
+        self.w_v = Linear(dim, dim, bias=False, rng=rng)
+        self.w_o = Linear(dim, dim, bias=False, rng=rng)
+        # One learnable bias per (relative distance, head). Index 0 encodes
+        # distance -max_rel_dist, the last index distance +max_rel_dist.
+        self.rel_bias = Parameter(
+            rng.uniform(-0.02, 0.02, size=(2 * max_rel_dist + 1, n_heads))
+        )
+
+    def _heads(self, x: Tensor) -> Tensor:
+        """(L, B, D) -> (B, H, L, d_head)"""
+        L, B, _ = x.shape
+        return x.reshape(L, B, self.n_heads, self.d_head).transpose(1, 2, 0, 3)
+
+    def forward(self, x: Tensor, memory: Optional[np.ndarray] = None) -> Tensor:
+        """Attend ``x (T,B,D)`` over ``concat(memory, x)``; causal over x."""
+        T, B, _ = x.shape
+        if memory is not None and memory.shape[0] > 0:
+            mem = Tensor(memory)  # detached cache, no gradient into the past
+            full = concat([mem, x], axis=0)
+            M = memory.shape[0]
+        else:
+            full = x
+            M = 0
+        K = M + T
+
+        q = self._heads(self.w_q(x))  # (B, H, T, dh)
+        k = self._heads(self.w_k(full))  # (B, H, K, dh)
+        v = self._heads(self.w_v(full))  # (B, H, K, dh)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+
+        # Relative position bias: query position t (absolute M+t) attends key
+        # position j; distance = (M + t) - j, clipped to the learned range.
+        t_pos = np.arange(T)[:, None] + M
+        j_pos = np.arange(K)[None, :]
+        dist = np.clip(t_pos - j_pos, -self.max_rel_dist, self.max_rel_dist)
+        bias = self.rel_bias[dist + self.max_rel_dist]  # (T, K, H)
+        scores = scores + bias.transpose(2, 0, 1)  # (H,T,K) broadcasts over B
+
+        # Causal mask within the current segment (memory is fully visible).
+        causal = np.zeros((T, K))
+        future = (j_pos - M) > np.arange(T)[:, None]
+        causal[future] = -1e9
+        scores = scores + Tensor(causal)
+
+        weights = softmax(scores, axis=-1)
+        ctx = weights @ v  # (B, H, T, dh)
+        out = ctx.transpose(2, 0, 1, 3).reshape(T, B, self.dim)
+        return self.w_o(out)
+
+
+class TransformerXLLayer(Module):
+    """Post-LN transformer block with segment-recurrent attention."""
+
+    def __init__(self, dim: int, n_heads: int, ff_dim: int, max_rel_dist: int = 512, rng=None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.attn = RelativeMultiHeadAttention(dim, n_heads, max_rel_dist, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.ff1 = Linear(dim, ff_dim, rng=rng)
+        self.ff2 = Linear(ff_dim, dim, rng=rng)
+        self.norm2 = LayerNorm(dim)
+
+    def forward(self, x: Tensor, memory: Optional[np.ndarray] = None) -> Tensor:
+        h = self.norm1(x + self.attn(x, memory))
+        h = self.norm2(h + self.ff2(self.ff1(h).relu()))
+        return h
+
+
+class TransformerXL(Module):
+    """A stack of Transformer-XL layers with per-layer segment memory.
+
+    Call :meth:`reset_memory` at the start of each op sequence, then feed
+    segments in order; each layer caches (detached) hidden states of the
+    previous ``mem_len`` positions.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_layers: int = 2,
+        n_heads: int = 4,
+        ff_dim: Optional[int] = None,
+        mem_len: int = 128,
+        max_rel_dist: int = 512,
+        rng=None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        ff_dim = ff_dim or 2 * dim
+        self.dim = dim
+        self.mem_len = mem_len
+        self.layers: List[TransformerXLLayer] = []
+        for i in range(n_layers):
+            layer = TransformerXLLayer(dim, n_heads, ff_dim, max_rel_dist, rng=rng)
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+        self._memory: List[Optional[np.ndarray]] = [None] * n_layers
+
+    def reset_memory(self) -> None:
+        self._memory = [None] * len(self.layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Process one segment ``(T, B, D)``, updating the memory cache."""
+        h = x
+        new_memory: List[np.ndarray] = []
+        for layer, mem in zip(self.layers, self._memory):
+            inputs = h.data
+            h = layer(h, mem)
+            cache = inputs if mem is None or mem.shape[0] == 0 else np.concatenate([mem, inputs], axis=0)
+            new_memory.append(cache[-self.mem_len :])
+        self._memory = new_memory
+        return h

@@ -1,0 +1,28 @@
+"""Placer networks: map node representations to per-op device choices.
+
+Four designs from the paper's placer study (Section 3.3, Table 1):
+
+* :class:`SegmentSeq2SeqPlacer` — Mars's segment-level seq2seq placer;
+* plain seq2seq — the same class with ``segment_size=None``;
+* :class:`TransformerXLPlacer` — the GDP-style attention placer;
+* :class:`MLPPlacer` — the two-layer MLP strawman;
+
+plus :class:`MLPGrouper`, the learned grouper of the grouper-placer
+baseline [20].
+"""
+
+from repro.placers.base import Placer, PlacerOutput, sample_categorical
+from repro.placers.segment_seq2seq import SegmentSeq2SeqPlacer
+from repro.placers.transformer_placer import TransformerXLPlacer
+from repro.placers.mlp_placer import MLPPlacer
+from repro.placers.grouper import MLPGrouper
+
+__all__ = [
+    "Placer",
+    "PlacerOutput",
+    "sample_categorical",
+    "SegmentSeq2SeqPlacer",
+    "TransformerXLPlacer",
+    "MLPPlacer",
+    "MLPGrouper",
+]

@@ -1,0 +1,85 @@
+"""Shared placer interface and categorical sampling utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import Module, Tensor
+from repro.nn.functional import log_softmax
+
+
+@dataclass
+class PlacerOutput:
+    """Result of running a placer over a node-representation sequence.
+
+    ``log_probs``/``entropy`` are differentiable tensors of shape
+    ``(batch, num_ops)`` — per-op log-likelihood of the chosen device and
+    per-op policy entropy.
+    """
+
+    actions: np.ndarray
+    log_probs: Tensor
+    entropy: Tensor
+
+
+def sample_categorical(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Vectorized sampling from rows of a ``(..., K)`` probability array."""
+    r = rng.random(probs.shape[:-1] + (1,))
+    cdf = np.cumsum(probs, axis=-1)
+    # Guard the final edge against floating-point undershoot.
+    cdf[..., -1] = 1.0 + 1e-12
+    return (r > cdf).sum(axis=-1).astype(np.int64)
+
+
+def logits_to_choice(
+    logits: Tensor,
+    rng: Optional[np.random.Generator],
+    actions: Optional[np.ndarray],
+    greedy: bool = False,
+) -> Tuple[np.ndarray, Tensor, Tensor]:
+    """Sample (or teacher-force) device choices from ``logits (..., K)``.
+
+    Returns ``(choices, log_prob, entropy)`` where the latter two are
+    differentiable and have the leading shape of ``logits``.
+    """
+    logp = log_softmax(logits, axis=-1)
+    if actions is None:
+        if greedy:
+            choices = np.argmax(logits.data, axis=-1).astype(np.int64)
+        else:
+            if rng is None:
+                raise ValueError("sampling requires an rng")
+            probs = np.exp(logp.data)
+            probs /= probs.sum(axis=-1, keepdims=True)
+            choices = sample_categorical(probs, rng)
+    else:
+        choices = np.asarray(actions, dtype=np.int64)
+    idx = tuple(np.indices(choices.shape)) + (choices,)
+    chosen_logp = logp[idx]
+    p = logp.exp()
+    entropy = -(p * logp).sum(axis=-1)
+    return choices, chosen_logp, entropy
+
+
+class Placer(Module):
+    """Common interface: run over ``reps`` and produce a placement batch."""
+
+    num_devices: int
+
+    def run(
+        self,
+        reps: Tensor,
+        n_samples: int = 1,
+        actions: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+        greedy: bool = False,
+    ) -> PlacerOutput:  # pragma: no cover - abstract
+        """``reps`` is ``(num_ops, dim)``; ``actions`` (if given) is
+        ``(n_samples, num_ops)`` and is scored instead of sampling."""
+        raise NotImplementedError
+
+    def forward(self, *args, **kwargs) -> PlacerOutput:
+        return self.run(*args, **kwargs)

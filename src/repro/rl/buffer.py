@@ -1,0 +1,51 @@
+"""Rollout buffer: the last ``capacity`` sampled placements with their
+sampling-time log-probs and advantages.
+
+The paper updates on the most recent 20 samples (two policies' worth),
+shuffled into four mini-batches, for three epochs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rl.policy import AgentRollout
+
+
+class RolloutBuffer:
+    def __init__(self, capacity: int = 20):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rollouts: List[AgentRollout] = []
+        self._advantages: List[np.ndarray] = []
+
+    def add(self, rollout: AgentRollout, advantages: np.ndarray) -> None:
+        if len(advantages) != rollout.batch_size:
+            raise ValueError("advantage/rollout size mismatch")
+        self._rollouts.append(rollout)
+        self._advantages.append(np.asarray(advantages, dtype=float))
+        # Trim oldest entries beyond capacity (whole rollouts at a time).
+        while self.size > self.capacity and len(self._rollouts) > 1:
+            self._rollouts.pop(0)
+            self._advantages.pop(0)
+
+    @property
+    def size(self) -> int:
+        return sum(r.batch_size for r in self._rollouts)
+
+    def is_ready(self, minimum: Optional[int] = None) -> bool:
+        return self.size >= (minimum if minimum is not None else self.capacity)
+
+    def merged(self) -> "tuple[AgentRollout, np.ndarray]":
+        if not self._rollouts:
+            raise ValueError("buffer is empty")
+        rollout = AgentRollout.concatenate(self._rollouts)
+        adv = np.concatenate(self._advantages)
+        return rollout, adv
+
+    def clear(self) -> None:
+        self._rollouts.clear()
+        self._advantages.clear()

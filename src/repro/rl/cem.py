@@ -1,0 +1,60 @@
+"""Cross-entropy-method updater (the core idea of Post, Gao et al. 2018).
+
+Post combines PPO with the cross-entropy method: instead of weighting all
+samples by advantage, only the *elite* fraction (best measured runtimes)
+contributes, and the policy is fit to reproduce the elite placements by
+maximum likelihood. Included as the RL-algorithm extension discussed in
+the paper's related work (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Adam, clip_grad_norm
+from repro.rl.policy import AgentRollout, PolicyAgent
+from repro.rl.ppo import UpdateStats
+
+
+@dataclass
+class CEMConfig:
+    elite_fraction: float = 0.25
+    entropy_coef: float = 1e-3
+    learning_rate: float = 3e-4
+    grad_clip_norm: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.elite_fraction <= 1.0:
+            raise ValueError(f"elite_fraction must be in (0, 1], got {self.elite_fraction}")
+
+
+class CEMUpdater:
+    """Fit the policy to the elite samples by maximum likelihood."""
+
+    def __init__(self, agent: PolicyAgent, config: CEMConfig = CEMConfig(), seed=None):
+        self.agent = agent
+        self.config = config
+        self.optimizer = Adam(agent.parameters(), lr=config.learning_rate)
+
+    def update(self, rollout: AgentRollout, advantages: np.ndarray) -> UpdateStats:
+        cfg = self.config
+        n = rollout.batch_size
+        n_elite = max(1, int(round(n * cfg.elite_fraction)))
+        elite_idx = np.argsort(advantages)[::-1][:n_elite]
+        elite = rollout.subset(elite_idx)
+
+        logp, entropy = self.agent.evaluate(elite.internal)
+        loss = -(logp.mean()) - cfg.entropy_coef * entropy.mean()
+        self.optimizer.zero_grad()
+        loss.backward()
+        norm = clip_grad_norm(self.agent.parameters(), cfg.grad_clip_norm)
+        self.optimizer.step()
+        return UpdateStats(
+            policy_loss=float(loss.item()),
+            entropy=float(entropy.data.mean()),
+            clip_fraction=0.0,
+            grad_norm=norm,
+            passes=1,
+        )

@@ -1,0 +1,46 @@
+"""REINFORCE updater — the algorithm of the original device-placement work
+(Mirhoseini et al., 2017). Included as an RL-algorithm ablation against PPO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Adam, clip_grad_norm
+from repro.rl.policy import AgentRollout, PolicyAgent
+from repro.rl.ppo import UpdateStats
+
+
+@dataclass
+class ReinforceConfig:
+    entropy_coef: float = 1e-3
+    learning_rate: float = 3e-4
+    grad_clip_norm: float = 1.0
+
+
+class ReinforceUpdater:
+    """Single on-policy gradient step per batch of fresh samples."""
+
+    def __init__(self, agent: PolicyAgent, config: ReinforceConfig = ReinforceConfig(), seed=None):
+        self.agent = agent
+        self.config = config
+        self.optimizer = Adam(agent.parameters(), lr=config.learning_rate)
+
+    def update(self, rollout: AgentRollout, advantages: np.ndarray) -> UpdateStats:
+        cfg = self.config
+        adv = advantages[:, None]
+        logp, entropy = self.agent.evaluate(rollout.internal)
+        loss = -((logp * adv).mean()) - cfg.entropy_coef * entropy.mean()
+        self.optimizer.zero_grad()
+        loss.backward()
+        norm = clip_grad_norm(self.agent.parameters(), cfg.grad_clip_norm)
+        self.optimizer.step()
+        return UpdateStats(
+            policy_loss=float(loss.item()),
+            entropy=float(entropy.data.mean()),
+            clip_fraction=0.0,
+            grad_norm=norm,
+            passes=1,
+        )

@@ -1,0 +1,71 @@
+"""Reward shaping (paper Eq. 7).
+
+``R_t = -sqrt(r_t)`` where ``r_t`` is the measured per-step time;
+the baseline is an exponential moving average of rewards
+(``mu = 0.99``) and the advantage is ``R_t - B_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def transform_runtime(runtime: float, kind: str = "neg_sqrt") -> float:
+    """Map a per-step time to a reward. ``neg_sqrt`` is the paper's choice;
+    ``neg`` and ``neg_log`` are provided for the reward-shaping ablation."""
+    if runtime <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime}")
+    if kind == "neg_sqrt":
+        return -float(np.sqrt(runtime))
+    if kind == "neg":
+        return -float(runtime)
+    if kind == "neg_log":
+        return -float(np.log(runtime))
+    raise ValueError(f"unknown reward transform {kind!r}")
+
+
+@dataclass
+class RewardConfig:
+    transform: str = "neg_sqrt"
+    ema_mu: float = 0.99
+    advantage_normalization: bool = False
+
+
+class RewardTracker:
+    """Stateful reward/advantage computation across a training run."""
+
+    def __init__(self, config: RewardConfig = RewardConfig()):
+        self.config = config
+        self._baseline: float = 0.0
+        self._initialized = False
+
+    @property
+    def baseline(self) -> float:
+        return self._baseline
+
+    def compute(self, runtimes: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+        """Rewards and advantages for a batch of measured runtimes.
+
+        The EMA baseline is updated sample by sample, in order; ``B_1 = R_1``
+        (Eq. 7: there is no ``B_0``).
+        """
+        mu = self.config.ema_mu
+        rewards = np.array(
+            [transform_runtime(r, self.config.transform) for r in runtimes]
+        )
+        advantages = np.empty_like(rewards)
+        for i, r in enumerate(rewards):
+            if not self._initialized:
+                self._baseline = r
+                self._initialized = True
+            else:
+                self._baseline = (1.0 - mu) * r + mu * self._baseline
+            advantages[i] = r - self._baseline
+        if self.config.advantage_normalization and len(advantages) > 1:
+            std = advantages.std()
+            if std > 1e-8:
+                advantages = (advantages - advantages.mean()) / std
+        return rewards, advantages

@@ -1,0 +1,202 @@
+"""Joint RL training loop with simulated training-clock accounting.
+
+One iteration = one policy: sample ``samples_per_policy`` placements,
+measure them in the environment, convert runtimes to advantages, and run
+the updater once at least ``update_min_samples`` samples are buffered
+(paper: 10 samples per policy, updates over the last 20).
+
+The *simulated training clock* is the quantity Fig. 8 reports: the
+environment charges re-initialization, warm-up and measurement steps for
+every placement evaluation (OOM and cutoff placements cost what they cost
+on a real machine), and the agent's own forward/backward compute is added
+from a FLOP estimate. Pre-training time, when used, is added by the agent
+wrapper before training starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.cem import CEMConfig, CEMUpdater
+from repro.rl.policy import PolicyAgent
+from repro.rl.ppo import PPOConfig, PPOUpdater
+from repro.rl.reinforce import ReinforceConfig, ReinforceUpdater
+from repro.rl.reward import RewardConfig, RewardTracker
+from repro.sim.env import PlacementEnv
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+logger = get_logger("repro.rl.trainer")
+
+#: FLOP/s assumed for the device the *agent* trains on when converting the
+#: agent's own compute into simulated seconds.
+AGENT_DEVICE_FLOPS = 5.0e12
+AGENT_PASS_OVERHEAD = 0.02  # seconds of framework overhead per pass
+
+
+@dataclass
+class SearchRecord:
+    """One policy iteration's worth of telemetry."""
+
+    iteration: int
+    samples_so_far: int
+    runtimes: List[float]
+    valid_runtimes: List[float]
+    n_invalid: int
+    n_truncated: int
+    best_runtime: float
+    baseline: float
+    sim_clock: float
+
+
+@dataclass
+class SearchHistory:
+    """Full record of one agent-training run."""
+
+    records: List[SearchRecord] = field(default_factory=list)
+    best_runtime: float = float("inf")
+    best_placement: Optional[np.ndarray] = None
+    sim_clock: float = 0.0  # simulated seconds (environment + agent compute)
+    pretrain_clock: float = 0.0
+
+    @property
+    def total_samples(self) -> int:
+        return self.records[-1].samples_so_far if self.records else 0
+
+    def runtime_curve(self, max_runtime: Optional[float] = None) -> "tuple[np.ndarray, np.ndarray]":
+        """(sample_index, mean_valid_runtime) series — the Fig. 7 curves.
+
+        Invalid placements and, optionally, runtimes above ``max_runtime``
+        are discarded, mirroring the paper's plotting procedure.
+        """
+        xs, ys = [], []
+        for rec in self.records:
+            vals = [
+                r
+                for r in rec.valid_runtimes
+                if max_runtime is None or r <= max_runtime
+            ]
+            if vals:
+                xs.append(rec.samples_so_far)
+                ys.append(float(np.mean(vals)))
+        return np.asarray(xs), np.asarray(ys)
+
+
+@dataclass
+class TrainerConfig:
+    iterations: int = 50
+    samples_per_policy: int = 10
+    update_min_samples: int = 20
+    buffer_capacity: int = 20
+    algorithm: str = "ppo"  # "ppo" | "reinforce" | "cem"
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    reinforce: ReinforceConfig = field(default_factory=ReinforceConfig)
+    cem: CEMConfig = field(default_factory=CEMConfig)
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    early_stop_samples: Optional[int] = None  # stop after this many samples
+    patience_samples: Optional[int] = None  # stop if no improvement for this many
+    # Only improvements of at least this relative size reset the patience
+    # counter (sub-threshold best-placement trickle should not keep an
+    # essentially-converged run alive).
+    patience_min_improvement: float = 0.01
+    log_every: int = 10
+    seed: int = 0
+
+
+class JointTrainer:
+    """Trains a :class:`PolicyAgent` against a :class:`PlacementEnv`."""
+
+    def __init__(self, agent: PolicyAgent, env: PlacementEnv, config: TrainerConfig = TrainerConfig()):
+        self.agent = agent
+        self.env = env
+        self.config = config
+        self.rng = new_rng(config.seed)
+        self.tracker = RewardTracker(config.reward)
+        self.buffer = RolloutBuffer(config.buffer_capacity)
+        if config.algorithm == "ppo":
+            self.updater = PPOUpdater(agent, config.ppo, seed=self.rng)
+        elif config.algorithm == "reinforce":
+            self.updater = ReinforceUpdater(agent, config.reinforce)
+        elif config.algorithm == "cem":
+            self.updater = CEMUpdater(agent, config.cem)
+        else:
+            raise ValueError(f"unknown algorithm {config.algorithm!r}")
+
+    def train(self, history: Optional[SearchHistory] = None) -> SearchHistory:
+        """Run the search; an existing ``history`` continues (fine-tuning)."""
+        cfg = self.config
+        history = history or SearchHistory()
+        if not history.records and history.sim_clock < history.pretrain_clock:
+            history.sim_clock = history.pretrain_clock
+        env_clock_start = self.env.stats.wall_clock
+        samples = history.total_samples
+        samples_since_best = 0
+
+        for it in range(cfg.iterations):
+            rollout = self.agent.sample(cfg.samples_per_policy, self.rng)
+            results = [self.env.evaluate(p) for p in rollout.placements]
+            runtimes = [res.per_step_time for res in results]
+            _, advantages = self.tracker.compute(runtimes)
+            self.buffer.add(rollout, advantages)
+            samples += len(results)
+
+            improved = False
+            patience_bar = history.best_runtime * (1.0 - cfg.patience_min_improvement)
+            for res, placement in zip(results, rollout.placements):
+                if res.ok and res.per_step_time < history.best_runtime:
+                    if res.per_step_time < patience_bar:
+                        improved = True
+                    history.best_runtime = res.per_step_time
+                    history.best_placement = placement.copy()
+            samples_since_best = 0 if improved else samples_since_best + len(results)
+
+            agent_seconds = 0.0
+            if self.buffer.is_ready(cfg.update_min_samples):
+                merged, advs = self.buffer.merged()
+                stats = self.updater.update(merged, advs)
+                pass_batch = max(1, merged.batch_size // max(getattr(cfg.ppo, "minibatches", 1), 1))
+                agent_seconds = stats.passes * (
+                    self.agent.update_flops(pass_batch) / AGENT_DEVICE_FLOPS
+                    + AGENT_PASS_OVERHEAD
+                )
+
+            # The env clock is cumulative; fold in this iteration's delta.
+            delta_env = self.env.stats.wall_clock - env_clock_start
+            env_clock_start = self.env.stats.wall_clock
+            history.sim_clock += delta_env + agent_seconds
+            sim_clock = history.sim_clock
+
+            record = SearchRecord(
+                iteration=len(history.records),
+                samples_so_far=samples,
+                runtimes=list(runtimes),
+                valid_runtimes=[r.per_step_time for r in results if r.valid],
+                n_invalid=sum(not r.valid for r in results),
+                n_truncated=sum(r.truncated for r in results),
+                best_runtime=history.best_runtime,
+                baseline=self.tracker.baseline,
+                sim_clock=sim_clock,
+            )
+            history.records.append(record)
+            history.sim_clock = sim_clock
+
+            if cfg.log_every and (it + 1) % cfg.log_every == 0:
+                logger.info(
+                    "[%s] iter %d samples %d best %.4fs baseline %.3f invalid %d",
+                    self.env.graph.name,
+                    it + 1,
+                    samples,
+                    history.best_runtime,
+                    record.baseline,
+                    record.n_invalid,
+                )
+            if cfg.early_stop_samples is not None and samples >= cfg.early_stop_samples:
+                break
+            if cfg.patience_samples is not None and samples_since_best >= cfg.patience_samples:
+                logger.info("early stop: no improvement in %d samples", samples_since_best)
+                break
+        return history

@@ -1,0 +1,55 @@
+"""Per-op execution and transfer cost model (roofline style).
+
+The time of a training-step execution of one op on one device is::
+
+    launch_overhead + max(compute_time, memory_time)
+
+with ``compute_time = backward_factor * flops / (peak * efficiency)`` and
+``memory_time`` derived from the bytes the op touches. ``backward_factor``
+accounts for the backward pass (~2x forward) executed in the same step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph import CompGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps (op, device) -> seconds and (tensor, link) -> seconds."""
+
+    backward_factor: float = 3.0  # fwd + bwd ≈ 3x fwd FLOPs
+    memory_traffic_factor: float = 3.0  # activations are read/written ~3x per step
+
+    def op_time(self, node, device: DeviceSpec) -> float:
+        eff = device.efficiency_for(node.op_type)
+        compute = self.backward_factor * node.flops / (device.peak_flops * eff)
+        touched = self.memory_traffic_factor * node.activation_bytes + 2.0 * node.param_bytes
+        memory = touched / device.mem_bandwidth
+        return device.launch_overhead + max(compute, memory)
+
+    def op_time_matrix(self, graph: CompGraph, cluster: ClusterSpec) -> np.ndarray:
+        """Precomputed ``(num_ops, num_devices)`` time table."""
+        out = np.empty((graph.num_nodes, cluster.num_devices))
+        for j, dev in enumerate(cluster.devices):
+            for i, node in enumerate(graph.nodes):
+                out[i, j] = self.op_time(node, dev)
+        return out
+
+    def transfer_time(
+        self, nbytes: float, cluster: ClusterSpec, src: int = None, dst: int = None
+    ) -> float:
+        # Gradient of the tensor flows back across the same edge during the
+        # backward pass, so a cut edge pays the transfer twice per step.
+        bw = (
+            cluster.bandwidth_between(src, dst)
+            if src is not None and dst is not None
+            else cluster.link_bandwidth
+        )
+        return cluster.link_latency + 2.0 * nbytes / bw

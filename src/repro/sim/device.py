@@ -1,0 +1,91 @@
+"""Device specifications.
+
+Throughput numbers approximate the paper's hardware: NVIDIA P100 (9.3
+TFLOP/s fp32 peak, 732 GB/s HBM2, 12 GB) and a Xeon E5-2650 v4 socket
+(~0.4 TFLOP/s with AVX2, ~60 GB/s). Achieved efficiency varies wildly per
+kernel type, so the cost model scales peak throughput by a per-op-type
+efficiency table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+GB = 1024.0**3
+
+#: Fraction of peak FLOP/s actually achieved per op type on a GPU. Large
+#: dense convolutions run near cuDNN efficiency; unrolled LSTM cells and the
+#: mid-sized matmuls of attention are launch- and bandwidth-limited.
+GPU_EFFICIENCY: Dict[str, float] = {
+    "Conv2D": 0.45,
+    "DepthwiseConv2D": 0.15,
+    "MatMul": 0.22,
+    "LSTMCell": 0.32,
+    "Attention": 0.12,
+    "Embedding": 0.05,
+    "ApplyGradient": 0.08,
+    "__default__": 0.10,
+}
+
+#: CPUs are comparatively much better at small/bandwidth-bound ops than at
+#: dense compute; the low default keeps heavy kernels off the CPU.
+CPU_EFFICIENCY: Dict[str, float] = {
+    "Conv2D": 0.30,
+    "MatMul": 0.35,
+    "LSTMCell": 0.25,
+    "__default__": 0.30,
+}
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A single computational device."""
+
+    name: str
+    kind: str  # "gpu" or "cpu"
+    peak_flops: float
+    mem_bandwidth: float
+    memory: float
+    launch_overhead: float
+    efficiency: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"unknown device kind {self.kind!r}")
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0 or self.memory <= 0:
+            raise ValueError(f"non-positive capability on {self.name}")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+    def efficiency_for(self, op_type: str) -> float:
+        table = self.efficiency
+        if op_type in table:
+            return table[op_type]
+        return table.get("__default__", 0.1)
+
+    @classmethod
+    def p100(cls, index: int, memory_gb: float = 12.0) -> "DeviceSpec":
+        return cls(
+            name=f"gpu:{index}",
+            kind="gpu",
+            peak_flops=9.3e12,
+            mem_bandwidth=732.0 * GB,
+            memory=memory_gb * GB,
+            launch_overhead=1.2e-4,
+            efficiency=dict(GPU_EFFICIENCY),
+        )
+
+    @classmethod
+    def xeon(cls, index: int = 0, memory_gb: float = 125.0) -> "DeviceSpec":
+        return cls(
+            name=f"cpu:{index}",
+            kind="cpu",
+            peak_flops=0.4e12,
+            mem_bandwidth=60.0 * GB,
+            memory=memory_gb * GB,
+            launch_overhead=2.0e-5,
+            efficiency=dict(CPU_EFFICIENCY),
+        )

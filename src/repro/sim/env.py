@@ -1,0 +1,123 @@
+"""The placement environment the RL agent interacts with.
+
+Ties together graph, cluster, cost model, memory model, scheduler and
+measurement protocol behind the two calls an agent needs:
+
+* :meth:`PlacementEnv.evaluate` — measure a proposed placement (with
+  caching, OOM handling and wall-clock accounting), and
+* :meth:`PlacementEnv.final_run` — the 1000-step evaluation of the best
+  placement reported in the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.graph import CompGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.measurement import MeasurementProtocol, MeasurementResult
+from repro.sim.memory import MemoryModel
+from repro.sim.placement import Placement, resolve_placement
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class EnvStats:
+    """Cumulative bookkeeping of environment usage."""
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    invalid: int = 0
+    truncated: int = 0
+    wall_clock: float = 0.0  # simulated seconds spent measuring placements
+
+
+class PlacementEnv:
+    """Measurement environment for one workload on one cluster."""
+
+    def __init__(
+        self,
+        graph: CompGraph,
+        cluster: Optional[ClusterSpec] = None,
+        cost_model: Optional[CostModel] = None,
+        memory_model: Optional[MemoryModel] = None,
+        protocol: Optional[MeasurementProtocol] = None,
+    ):
+        self.graph = graph
+        self.cluster = cluster or ClusterSpec.default()
+        self.cost_model = cost_model or CostModel()
+        self.memory_model = memory_model or MemoryModel()
+        self.protocol = protocol or MeasurementProtocol()
+        self.scheduler = Scheduler(self.cost_model)
+        self.stats = EnvStats()
+        # Precompute invariants; evaluating a placement is then O(V + E).
+        self._op_times = self.cost_model.op_time_matrix(self.graph, self.cluster)
+        self._order = (
+            np.arange(self.graph.num_nodes)
+            if self.graph.is_topologically_indexed()
+            else np.asarray(self.graph.topological_order())
+        )
+        self._mem_per_op = self.memory_model.op_bytes_vector(self.graph)
+        self._capacity = np.array([d.memory for d in self.cluster.devices])
+        self._cache: Dict[bytes, MeasurementResult] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return self.cluster.num_devices
+
+    @property
+    def num_ops(self) -> int:
+        return self.graph.num_nodes
+
+    def resolve(self, actions: Sequence[int]) -> Placement:
+        return resolve_placement(actions, self.graph, self.cluster)
+
+    def makespan(self, placement: Placement) -> float:
+        """Noise-free step time of a placement (no wall-clock charge)."""
+        return self.scheduler.run_step(placement, self._op_times, self._order).makespan
+
+    def check_memory(self, placement: Placement):
+        usage = np.zeros(self.num_devices)
+        np.add.at(usage, placement.devices, self._mem_per_op)
+        return usage, usage > self._capacity
+
+    # ------------------------------------------------------------------
+    def evaluate(self, actions: Sequence[int]) -> MeasurementResult:
+        """Measure a placement proposed by the agent (cached)."""
+        placement = self.resolve(actions)
+        key = placement.devices.tobytes()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self.stats.evaluations += 1
+            # Re-measuring a known placement is quick on a real setup too
+            # (no exploration value) — charge only the re-init.
+            self.stats.wall_clock += self.protocol.reinit_cost
+            return cached
+
+        _, oom = self.check_memory(placement)
+        valid = not bool(oom.any())
+        makespan = self.makespan(placement) if valid else float("inf")
+        result = self.protocol.measure(makespan, valid, hash(placement))
+        self._cache[key] = result
+        self.stats.evaluations += 1
+        self.stats.wall_clock += result.wall_clock
+        if not result.valid:
+            self.stats.invalid += 1
+        if result.truncated:
+            self.stats.truncated += 1
+        return result
+
+    def final_run(self, actions: Sequence[int], steps: int = 1000) -> float:
+        """Per-step runtime of the final placement over a long run."""
+        placement = self.resolve(actions)
+        _, oom = self.check_memory(placement)
+        if oom.any():
+            return float("nan")
+        makespan = self.makespan(placement)
+        return self.protocol.final_evaluation(makespan, hash(placement), steps)

@@ -1,0 +1,70 @@
+"""Per-device memory accounting and OOM detection.
+
+Training memory on a device is approximated as::
+
+    params * param_multiplier + activations * activation_multiplier
+
+``param_multiplier = 4`` covers parameter + gradient + two Adam slots;
+``activation_multiplier`` covers the stored forward activations plus
+framework workspace. These multipliers are the calibration knobs that make
+the paper's feasibility structure hold: Inception-V3 (batch 1) fits on one
+12 GB GPU, GNMT-4 (batch 256) and BERT-Base (batch 24, seq 384) do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.graph import CompGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.placement import Placement
+
+
+@dataclass
+class MemoryReport:
+    """Result of checking a placement against device capacities."""
+
+    usage: np.ndarray  # bytes per device
+    capacity: np.ndarray  # bytes per device
+    oom_devices: List[int]
+
+    @property
+    def fits(self) -> bool:
+        return not self.oom_devices
+
+    def utilization(self) -> np.ndarray:
+        return self.usage / self.capacity
+
+    def describe(self, cluster: ClusterSpec) -> str:
+        parts = []
+        for i, dev in enumerate(cluster.devices):
+            flag = " OOM" if i in self.oom_devices else ""
+            parts.append(f"{dev.name}: {self.usage[i] / 2**30:.1f}/{self.capacity[i] / 2**30:.0f} GB{flag}")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    param_multiplier: float = 4.0
+    activation_multiplier: float = 1.4
+
+    def op_bytes(self, node) -> float:
+        return (
+            self.param_multiplier * node.param_bytes
+            + self.activation_multiplier * node.activation_bytes
+        )
+
+    def op_bytes_vector(self, graph: CompGraph) -> np.ndarray:
+        return np.array([self.op_bytes(n) for n in graph.nodes])
+
+    def check(self, placement: Placement) -> MemoryReport:
+        graph, cluster = placement.graph, placement.cluster
+        usage = np.zeros(cluster.num_devices)
+        per_op = self.op_bytes_vector(graph)
+        np.add.at(usage, placement.devices, per_op)
+        capacity = np.array([d.memory for d in cluster.devices])
+        oom = [int(i) for i in np.flatnonzero(usage > capacity)]
+        return MemoryReport(usage=usage, capacity=capacity, oom_devices=oom)

@@ -1,0 +1,92 @@
+"""Placement representation and constraint resolution."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.graph import CompGraph
+from repro.sim.cluster import ClusterSpec
+
+
+class Placement:
+    """An assignment op-index -> device-index for a specific graph/cluster."""
+
+    def __init__(self, devices: Sequence[int], graph: CompGraph, cluster: ClusterSpec):
+        arr = np.asarray(devices, dtype=np.int64)
+        if arr.shape != (graph.num_nodes,):
+            raise ValueError(
+                f"placement length {arr.shape} != num ops ({graph.num_nodes},)"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= cluster.num_devices):
+            raise ValueError("device index out of range")
+        self.devices = arr
+        self.graph = graph
+        self.cluster = cluster
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Placement) and np.array_equal(self.devices, other.devices)
+
+    def __hash__(self) -> int:
+        return hash(self.devices.tobytes())
+
+    def device_of(self, op_index: int) -> int:
+        return int(self.devices[op_index])
+
+    def ops_on(self, device_index: int) -> np.ndarray:
+        return np.flatnonzero(self.devices == device_index)
+
+    def num_cut_edges(self) -> int:
+        """Edges crossing devices — proxy for communication volume."""
+        return sum(
+            1 for u, v in self.graph.edges() if self.devices[u] != self.devices[v]
+        )
+
+    def describe(self) -> str:
+        counts = np.bincount(self.devices, minlength=self.cluster.num_devices)
+        parts = [
+            f"{dev.name}={int(c)}"
+            for dev, c in zip(self.cluster.devices, counts)
+            if c > 0
+        ]
+        return f"Placement({', '.join(parts)}, cut={self.num_cut_edges()})"
+
+
+def resolve_placement(
+    actions: Sequence[int], graph: CompGraph, cluster: ClusterSpec
+) -> Placement:
+    """Turn raw agent actions into a *feasible* placement.
+
+    Applies the environment-side constraints the real TF runtime enforces:
+
+    * ``cpu_only`` ops run on the CPU regardless of the agent's action
+      (mirrors "GPU incompatible operations run on CPU", Section 4.1), and
+    * colocation groups land on the device chosen for their first member.
+    """
+    devices = np.asarray(actions, dtype=np.int64).copy()
+    if devices.shape != (graph.num_nodes,):
+        raise ValueError("actions length mismatch")
+    cpu = cluster.cpu_index
+
+    group_device: Dict[str, int] = {}
+    for i, node in enumerate(graph.nodes):
+        if node.colocation_group is not None:
+            if node.colocation_group not in group_device:
+                group_device[node.colocation_group] = int(devices[i])
+            devices[i] = group_device[node.colocation_group]
+    for i, node in enumerate(graph.nodes):
+        if node.cpu_only:
+            devices[i] = cpu
+    return Placement(devices, graph, cluster)
+
+
+def single_device_placement(
+    graph: CompGraph, cluster: ClusterSpec, device_index: Optional[int] = None
+) -> Placement:
+    """All GPU-compatible ops on one device ("GPU Only" baseline)."""
+    if device_index is None:
+        device_index = cluster.gpu_indices[0]
+    return resolve_placement(
+        np.full(graph.num_nodes, device_index), graph, cluster
+    )

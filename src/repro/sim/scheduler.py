@@ -1,0 +1,197 @@
+"""Deterministic list scheduler producing the per-step makespan.
+
+Ops execute on their assigned device in topological-index order (the TF
+executor dispatches roughly FIFO per device); an op starts when its device
+is free and all its inputs have *arrived* — inputs produced on another
+device pay a transfer on the serialized link between the two devices. A
+producer's output is shipped to each consuming device at most once.
+
+The algorithm is a single O(V + E) pass over the topological order with
+per-device and per-link clocks — no event heap needed because processing
+nodes in topological order guarantees every predecessor's finish time is
+already known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph import CompGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.placement import Placement
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of simulating one training step."""
+
+    makespan: float
+    finish_times: np.ndarray
+    device_busy: np.ndarray  # seconds of execution per device
+    comm_time: float  # total seconds spent on links
+    comm_bytes: float  # total bytes shipped between devices
+    start_times: Optional[np.ndarray] = None  # per-op start (for timelines)
+
+    @property
+    def critical_path_bound(self) -> float:
+        return float(self.finish_times.max()) if self.finish_times.size else 0.0
+
+
+class Scheduler:
+    """Simulates the execution of a placed graph."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model or CostModel()
+
+    def run_step(
+        self,
+        placement: Placement,
+        op_times: Optional[np.ndarray] = None,
+        order: Optional[np.ndarray] = None,
+    ) -> ScheduleResult:
+        """Simulate one training step; returns the makespan and stats.
+
+        Event-driven dataflow execution, like the TF executor: an op is
+        *ready* once all its inputs have arrived on its device; each device
+        runs one ready op at a time, picking the ready op with the smallest
+        topological index (deterministic tie-breaking). This allows
+        cell-level pipelining across devices — essential for modeling
+        model-parallel RNN placements correctly.
+
+        ``op_times`` may be a precomputed ``(num_ops, num_devices)`` table
+        (see :meth:`CostModel.op_time_matrix`) to amortize cost-model work
+        across the thousands of placements an RL run evaluates. ``order``
+        is accepted for API compatibility but unused (execution order is
+        dependency-driven).
+        """
+        graph, cluster = placement.graph, placement.cluster
+        n = graph.num_nodes
+        if n == 0:
+            return ScheduleResult(
+                makespan=0.0,
+                finish_times=np.zeros(0),
+                device_busy=np.zeros(cluster.num_devices),
+                comm_time=0.0,
+                comm_bytes=0.0,
+            )
+        if op_times is None:
+            op_times = self.cost_model.op_time_matrix(graph, cluster)
+
+        devices = placement.devices
+        finish = np.zeros(n)
+        starts = np.zeros(n)
+        device_free = np.zeros(cluster.num_devices)
+        device_busy = np.zeros(cluster.num_devices)
+        device_ready: List[List[int]] = [[] for _ in range(cluster.num_devices)]
+        device_running = [False] * cluster.num_devices
+        link_free: Dict[Tuple[int, int], float] = {}
+        shipped: set = set()  # (producer, consumer_device) pairs already sent
+        remaining = graph.in_degrees().copy()
+        comm_time = 0.0
+        comm_bytes = 0.0
+
+        # Event heap entries: (time, seq, kind, payload). kind 0 = op done,
+        # kind 1 = tensor arrival (payload = (producer, dst_device)).
+        events: List[Tuple[float, int, int, Tuple[int, int]]] = []
+        seq = 0
+
+        def try_start(dev: int, now: float) -> None:
+            nonlocal seq
+            if device_running[dev] or not device_ready[dev]:
+                return
+            op = heapq.heappop(device_ready[dev])
+            duration = op_times[op, dev]
+            start = max(now, device_free[dev])
+            end = start + duration
+            starts[op] = start
+            finish[op] = end
+            device_free[dev] = end
+            device_busy[dev] += duration
+            device_running[dev] = True
+            heapq.heappush(events, (end, seq, 0, (op, dev)))
+            seq += 1
+
+        def mark_ready(op: int, now: float) -> None:
+            dev = int(devices[op])
+            heapq.heappush(device_ready[dev], op)
+            try_start(dev, now)
+
+        for op in range(n):
+            if remaining[op] == 0:
+                mark_ready(op, 0.0)
+
+        # remaining[v] counts inputs not yet arrived at v's device; an edge
+        # u->v with u on another device completes only when the (u, dst)
+        # transfer arrives, which satisfies every consumer of u on dst.
+        consumers_waiting: Dict[Tuple[int, int], List[int]] = {}
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == 0:  # op completed
+                op, dev = payload
+                device_running[dev] = False
+                for succ in graph.successors(op):
+                    dst = int(devices[succ])
+                    if dst == dev:
+                        remaining[succ] -= 1
+                        if remaining[succ] == 0:
+                            mark_ready(succ, now)
+                    else:
+                        key = (op, dst)
+                        if key in shipped:
+                            consumers_waiting[key].append(succ)
+                        else:
+                            shipped.add(key)
+                            consumers_waiting[key] = [succ]
+                            nbytes = graph.nodes[op].output_bytes
+                            link = (dev, dst) if dev < dst else (dst, dev)
+                            duration = self.cost_model.transfer_time(
+                                nbytes, cluster, dev, dst
+                            )
+                            start = max(now, link_free.get(link, 0.0))
+                            link_free[link] = start + duration
+                            comm_time += duration
+                            comm_bytes += nbytes
+                            heapq.heappush(events, (start + duration, seq, 1, key))
+                            seq += 1
+                try_start(dev, now)
+            else:  # tensor arrived on a device
+                key = payload
+                for succ in consumers_waiting.pop(key, ()):
+                    remaining[succ] -= 1
+                    if remaining[succ] == 0:
+                        mark_ready(succ, now)
+
+        if np.any(remaining > 0):  # pragma: no cover - defensive
+            raise RuntimeError("scheduler deadlock: graph has a cycle?")
+
+        makespan = float(finish.max()) + cluster.step_overhead
+        return ScheduleResult(
+            makespan=makespan,
+            finish_times=finish,
+            device_busy=device_busy,
+            comm_time=comm_time,
+            comm_bytes=comm_bytes,
+            start_times=starts,
+        )
+
+    def lower_bound(self, graph: CompGraph, cluster: ClusterSpec) -> float:
+        """A makespan lower bound: the best-device critical path, ignoring
+        communication and contention. Useful for sanity checks and tests."""
+        op_times = self.cost_model.op_time_matrix(graph, cluster)
+        best = op_times.min(axis=1)
+        order = (
+            range(graph.num_nodes)
+            if graph.is_topologically_indexed()
+            else graph.topological_order()
+        )
+        longest = np.zeros(graph.num_nodes)
+        for op in order:
+            preds = graph.predecessors(op)
+            longest[op] = best[op] + (max(longest[p] for p in preds) if preds else 0.0)
+        return float(longest.max()) + cluster.step_overhead if graph.num_nodes else 0.0

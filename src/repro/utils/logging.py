@@ -1,0 +1,33 @@
+"""Lightweight logging configuration for the library.
+
+We piggyback on :mod:`logging` but provide a single entry point so that the
+CLI runner and library users configure output consistently.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_CONFIGURED = False
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace, configuring root once."""
+    global _CONFIGURED
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
+        )
+        root = logging.getLogger("repro")
+        if not root.handlers:
+            root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        _CONFIGURED = True
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: int) -> None:
+    """Set the library-wide log level (e.g. ``logging.DEBUG``)."""
+    get_logger().setLevel(level)

@@ -1,0 +1,27 @@
+"""Parameter (de)serialization for :class:`repro.nn.Module` trees.
+
+Parameters are stored as flat ``name -> ndarray`` dicts in ``.npz`` files so
+that checkpoints are portable and dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state_dict(path: str, state: Dict[str, np.ndarray]) -> None:
+    """Write a flat state dict to ``path`` (``.npz`` appended if missing)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a flat state dict previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        return {k: data[k] for k in data.files}

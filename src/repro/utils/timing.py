@@ -1,0 +1,47 @@
+"""Wall-clock timing helpers used by trainers and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Timer:
+    """Accumulating named stopwatch.
+
+    >>> t = Timer()
+    >>> with t.section("update"):
+    ...     pass
+    >>> t.total("update") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def section(self, name: str) -> "_Section":
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def grand_total(self) -> float:
+        return sum(self.totals.values())
+
+
+class _Section:
+    def __init__(self, timer: Timer, name: str):
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)

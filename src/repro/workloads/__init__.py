@@ -1,0 +1,34 @@
+"""Benchmark workload graphs.
+
+Programmatic generators for the computational graphs the paper evaluates on
+(Inception-V3, GNMT-4, BERT-Base) and the auxiliary workloads used by the
+generalization study (VGG16, a vanilla seq2seq model, a Transformer).
+
+Each generator accepts a ``scale`` in (0, 1] that proportionally shrinks the
+repeated structure (number of blocks/layers/time steps) so the experiment
+harness can run at laptop scale while preserving the graph's character; the
+cost attributes (FLOPs/bytes) per op are always computed from the real
+architectural dimensions.
+"""
+
+from repro.workloads.inception import build_inception_v3
+from repro.workloads.gnmt import build_gnmt
+from repro.workloads.bert import build_bert
+from repro.workloads.vgg import build_vgg16
+from repro.workloads.resnet import build_resnet50
+from repro.workloads.seq2seq_wl import build_seq2seq
+from repro.workloads.transformer_wl import build_transformer
+from repro.workloads.registry import get_workload, list_workloads, WORKLOADS
+
+__all__ = [
+    "build_inception_v3",
+    "build_gnmt",
+    "build_bert",
+    "build_vgg16",
+    "build_resnet50",
+    "build_seq2seq",
+    "build_transformer",
+    "get_workload",
+    "list_workloads",
+    "WORKLOADS",
+]

@@ -1,0 +1,119 @@
+"""BERT-Base computational graph (Devlin et al., 2019; paper §4.1 setup).
+
+Configuration from the paper: BERT-Base (12 layers, hidden 768, 12 heads,
+FFN 3072), maximum sequence length 384, batch size 24 — roughly 24 GB of
+training memory, so the graph *must* be split across multiple 12 GB GPUs
+and inter-GPU communication becomes the bottleneck.
+
+Every matmul/attention/layernorm inside each transformer layer is a
+separate placeable op, mirroring the TF graph structure.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.graph import CompGraph
+from repro.workloads.builder import BYTES_PER_ELEMENT, GraphBuilder, matmul_flops
+
+HIDDEN = 768
+HEADS = 12
+FFN = 3072
+LAYERS = 12
+VOCAB = 30522
+
+
+def _attention_block(b: GraphBuilder, x: str, prefix: str, B: int, S: int, H: int, heads: int) -> str:
+    qkv_params = BYTES_PER_ELEMENT * H * H
+    tokens = B * S
+    act = BYTES_PER_ELEMENT * tokens * H
+
+    q = b.op(f"{prefix}/q", "MatMul", inputs=[x], shape=(B, S, H),
+             flops=matmul_flops(tokens, H, H), params=qkv_params, act_bytes=act)
+    k = b.op(f"{prefix}/k", "MatMul", inputs=[x], shape=(B, S, H),
+             flops=matmul_flops(tokens, H, H), params=qkv_params, act_bytes=act)
+    v = b.op(f"{prefix}/v", "MatMul", inputs=[x], shape=(B, S, H),
+             flops=matmul_flops(tokens, H, H), params=qkv_params, act_bytes=act)
+
+    scores_act = BYTES_PER_ELEMENT * B * heads * S * S
+    scores = b.op(f"{prefix}/scores", "MatMul", inputs=[q, k], shape=(B, heads, S, S),
+                  flops=matmul_flops(B * heads * S, H // heads, S), act_bytes=scores_act)
+    probs = b.op(f"{prefix}/softmax", "Softmax", inputs=[scores], shape=(B, heads, S, S),
+                 flops=5.0 * B * heads * S * S, act_bytes=scores_act)
+    ctx = b.op(f"{prefix}/context", "MatMul", inputs=[probs, v], shape=(B, S, H),
+               flops=matmul_flops(B * heads * S, S, H // heads), act_bytes=act)
+    out = b.op(f"{prefix}/output", "MatMul", inputs=[ctx], shape=(B, S, H),
+               flops=matmul_flops(tokens, H, H), params=qkv_params, act_bytes=act)
+    res = b.op(f"{prefix}/residual", "Add", inputs=[out, x], shape=(B, S, H),
+               flops=float(tokens * H), act_bytes=act)
+    return b.op(f"{prefix}/layernorm", "LayerNorm", inputs=[res], shape=(B, S, H),
+                flops=8.0 * tokens * H, params=BYTES_PER_ELEMENT * 2 * H, act_bytes=act)
+
+
+def _ffn_block(b: GraphBuilder, x: str, prefix: str, B: int, S: int, H: int, F: int) -> str:
+    tokens = B * S
+    act_h = BYTES_PER_ELEMENT * tokens * H
+    act_f = BYTES_PER_ELEMENT * tokens * F
+    h = b.op(f"{prefix}/fc1", "MatMul", inputs=[x], shape=(B, S, F),
+             flops=matmul_flops(tokens, H, F), params=BYTES_PER_ELEMENT * H * F,
+             act_bytes=act_f)
+    h = b.op(f"{prefix}/gelu", "GeLU", inputs=[h], shape=(B, S, F),
+             flops=8.0 * tokens * F, act_bytes=act_f)
+    h = b.op(f"{prefix}/fc2", "MatMul", inputs=[h], shape=(B, S, H),
+             flops=matmul_flops(tokens, F, H), params=BYTES_PER_ELEMENT * F * H,
+             act_bytes=act_h)
+    res = b.op(f"{prefix}/residual", "Add", inputs=[h, x], shape=(B, S, H),
+               flops=float(tokens * H), act_bytes=act_h)
+    return b.op(f"{prefix}/layernorm", "LayerNorm", inputs=[res], shape=(B, S, H),
+                flops=8.0 * tokens * H, params=BYTES_PER_ELEMENT * 2 * H, act_bytes=act_h)
+
+
+def build_bert(
+    batch_size: int = 24,
+    seq_len: int = 384,
+    scale: float = 1.0,
+    num_layers: int = LAYERS,
+    hidden: int = HIDDEN,
+    heads: int = HEADS,
+    ffn: int = FFN,
+    vocab: int = VOCAB,
+) -> CompGraph:
+    """Build the BERT-Base pre-training graph (MLM head).
+
+    ``scale`` shrinks the number of transformer layers (min 2) while keeping
+    per-layer dimensions — op costs stay realistic, op count shrinks.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    L = max(2, ceil(num_layers * scale))
+    B, S, H = batch_size, seq_len, hidden
+    tokens = B * S
+    b = GraphBuilder(f"bert_base_b{B}" + ("" if scale == 1.0 else f"_s{scale}"))
+
+    ids = b.op("input_ids", "Input", shape=(B, S), cpu_only=True)
+    emb_params = BYTES_PER_ELEMENT * (vocab + 512 + 2) * H
+    x = b.op("embeddings/lookup", "Embedding", inputs=[ids], shape=(B, S, H),
+             flops=float(tokens * H), params=emb_params, coloc="bert_embed")
+    x = b.op("embeddings/layernorm", "LayerNorm", inputs=[x], shape=(B, S, H),
+             flops=8.0 * tokens * H, params=BYTES_PER_ELEMENT * 2 * H)
+
+    for i in range(L):
+        x = _attention_block(b, x, f"layer{i}/attention", B, S, H, heads)
+        x = _ffn_block(b, x, f"layer{i}/ffn", B, S, H, ffn)
+
+    # MLM head: transform + output logits over the vocabulary (weights tied
+    # to the embedding -> colocation).
+    x = b.op("mlm/transform", "MatMul", inputs=[x], shape=(B, S, H),
+             flops=matmul_flops(tokens, H, H), params=BYTES_PER_ELEMENT * H * H)
+    x = b.op("mlm/layernorm", "LayerNorm", inputs=[x], shape=(B, S, H),
+             flops=8.0 * tokens * H, params=BYTES_PER_ELEMENT * 2 * H)
+    logits = b.op("mlm/logits", "MatMul", inputs=[x], shape=(B, S, vocab),
+                  flops=matmul_flops(tokens, H, vocab), coloc="bert_embed",
+                  act_bytes=BYTES_PER_ELEMENT * tokens * vocab)
+    loss = b.op("mlm/loss", "CrossEntropy", inputs=[logits], shape=(1,),
+                flops=4.0 * tokens * vocab, coloc="bert_embed")
+    layer_params = 12 * BYTES_PER_ELEMENT * H * H  # approx per layer
+    total_params = emb_params + L * layer_params
+    b.op("train/apply_gradients", "ApplyGradient", inputs=[loss], shape=(1,),
+         flops=3.0 * total_params / BYTES_PER_ELEMENT)
+    return b.build()

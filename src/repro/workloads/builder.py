@@ -1,0 +1,118 @@
+"""Fluent builder for workload graphs with standard cost formulas."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.graph import CompGraph, OpNode
+
+BYTES_PER_ELEMENT = 4.0  # float32
+
+
+def elements(shape: Sequence[int]) -> int:
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n
+
+
+def tensor_bytes(shape: Sequence[int]) -> float:
+    return BYTES_PER_ELEMENT * elements(shape)
+
+
+def conv2d_flops(batch: int, out_h: int, out_w: int, c_in: int, c_out: int, kernel: int) -> float:
+    """Multiply-accumulate counted as 2 FLOPs."""
+    return 2.0 * batch * out_h * out_w * c_in * c_out * kernel * kernel
+
+
+def matmul_flops(m: int, k: int, n: int) -> float:
+    return 2.0 * m * k * n
+
+
+def lstm_cell_flops(batch: int, input_size: int, hidden: int) -> float:
+    # Fused gate matmuls plus elementwise gate math.
+    return 2.0 * batch * (input_size + hidden) * 4 * hidden + 12.0 * batch * hidden
+
+
+class GraphBuilder:
+    """Thin convenience wrapper over :class:`CompGraph` construction.
+
+    ``op(...)`` returns the node name so calls compose naturally::
+
+        x = b.op("stem/conv", "Conv2D", inputs=[x], shape=(32, 149, 149, 32), ...)
+    """
+
+    def __init__(self, name: str):
+        self.graph = CompGraph(name)
+
+    def op(
+        self,
+        name: str,
+        op_type: str,
+        inputs: Sequence[str] = (),
+        shape: Tuple[int, ...] = (),
+        flops: float = 0.0,
+        params: float = 0.0,
+        act_bytes: Optional[float] = None,
+        cpu_only: bool = False,
+        coloc: Optional[str] = None,
+    ) -> str:
+        if act_bytes is None:
+            act_bytes = tensor_bytes(shape)
+        node = OpNode(
+            name=name,
+            op_type=op_type,
+            output_shape=tuple(shape),
+            flops=flops,
+            param_bytes=params,
+            activation_bytes=act_bytes,
+            cpu_only=cpu_only,
+            colocation_group=coloc,
+        )
+        self.graph.add_node(node, inputs=inputs)
+        return name
+
+    def conv_block(
+        self,
+        prefix: str,
+        x: str,
+        batch: int,
+        out_hw: int,
+        c_in: int,
+        c_out: int,
+        kernel: int,
+        with_bn_relu: bool = True,
+    ) -> str:
+        """Conv2D (+ BatchNorm + ReLU) producing NHWC ``(B, H, W, C)``."""
+        shape = (batch, out_hw, out_hw, c_out)
+        param_bytes = BYTES_PER_ELEMENT * kernel * kernel * c_in * c_out
+        x = self.op(
+            f"{prefix}/conv",
+            "Conv2D",
+            inputs=[x],
+            shape=shape,
+            flops=conv2d_flops(batch, out_hw, out_hw, c_in, c_out, kernel),
+            params=param_bytes,
+        )
+        if with_bn_relu:
+            bn_flops = 4.0 * elements(shape)
+            x = self.op(
+                f"{prefix}/bn",
+                "BatchNorm",
+                inputs=[x],
+                shape=shape,
+                flops=bn_flops,
+                params=BYTES_PER_ELEMENT * 4 * c_out,
+            )
+            x = self.op(
+                f"{prefix}/relu",
+                "ReLU",
+                inputs=[x],
+                shape=shape,
+                flops=float(elements(shape)),
+            )
+        return x
+
+    def build(self) -> CompGraph:
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,176 @@
+"""GNMT-4 computational graph (Wu et al., 2016; 4-layer variant, paper §4.1).
+
+The paper's configuration: 4 LSTM layers with an attention layer, sequence
+length 20-50, batch size 256 — large enough that training does not fit in a
+single 12 GB GPU, which is exactly what makes this workload interesting for
+placement. The graph is unrolled over time like the TF graphs used by the
+Hierarchical Planner, so each (layer, time-step) LSTM cell is a placeable
+operation.
+
+Cost calibration: we use hidden size 1024 (the published GNMT size; the
+paper's "256 hidden units" would trivially fit on one GPU and could never
+exhibit the reported OOM behaviour) and a 32k vocabulary.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.graph import CompGraph
+from repro.workloads.builder import (
+    BYTES_PER_ELEMENT,
+    GraphBuilder,
+    lstm_cell_flops,
+    matmul_flops,
+)
+
+HIDDEN = 1024
+VOCAB = 32000
+NUM_LAYERS = 4
+
+
+def build_gnmt(
+    batch_size: int = 256,
+    seq_len: int = 40,
+    scale: float = 1.0,
+    hidden: int = HIDDEN,
+    vocab: int = VOCAB,
+    num_layers: int = NUM_LAYERS,
+) -> CompGraph:
+    """Build the unrolled GNMT-4 training graph.
+
+    ``scale`` shrinks the unrolled sequence length (not the layer count or
+    dimensions) so op count drops while per-op costs stay realistic.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    T = max(4, ceil(seq_len * scale))
+    B = batch_size
+    H = hidden
+    b = GraphBuilder(f"gnmt{num_layers}_b{B}" + ("" if scale == 1.0 else f"_s{scale}"))
+
+    src = b.op("src_input", "Input", shape=(T, B), cpu_only=True)
+    tgt = b.op("tgt_input", "Input", shape=(T, B), cpu_only=True)
+
+    # Embedding lookups. TF colocates the variable with its gather.
+    emb_params = BYTES_PER_ELEMENT * vocab * H
+    src_emb = b.op("src_embedding", "Embedding", inputs=[src], shape=(T, B, H),
+                   flops=float(T * B * H), params=emb_params, coloc="src_embed")
+    tgt_emb = b.op("tgt_embedding", "Embedding", inputs=[tgt], shape=(T, B, H),
+                   flops=float(T * B * H), params=emb_params, coloc="tgt_embed")
+
+    cell_params = BYTES_PER_ELEMENT * (2 * H) * 4 * H + BYTES_PER_ELEMENT * 4 * H
+    cell_flops = lstm_cell_flops(B, H, H)
+    # Activation storage per unrolled TF cell: gates (4H), candidate, cell
+    # and hidden states, dropout masks, and the backward workspace copies
+    # TF keeps for every intermediate of the fused cell (~18 H-sized
+    # tensors). This is what makes batch-256 GNMT exceed a 12 GB device.
+    cell_act = BYTES_PER_ELEMENT * B * H * 18
+
+    # --- Encoder: num_layers stacked LSTMs unrolled over T steps ---
+    prev_layer = [None] * T  # names of per-step outputs from the layer below
+    for t in range(T):
+        prev_layer[t] = b.op(f"enc/slice_t{t}", "Split", inputs=[src_emb], shape=(B, H))
+    for layer in range(num_layers):
+        outputs = []
+        prev_cell = None
+        for t in range(T):
+            inputs = [prev_layer[t]]
+            if prev_cell is not None:
+                inputs.append(prev_cell)
+            name = b.op(
+                f"enc/l{layer}/cell_t{t}",
+                "LSTMCell",
+                inputs=inputs,
+                shape=(B, H),
+                flops=cell_flops,
+                # Stash the layer's weights on the first step op; TF keeps one
+                # variable shared across the unrolled steps.
+                params=cell_params if t == 0 else 0.0,
+                act_bytes=cell_act,
+            )
+            outputs.append(name)
+            prev_cell = name
+        # Residual connections from layer 2 upward (GNMT design).
+        if layer >= 2:
+            outputs = [
+                b.op(f"enc/l{layer}/residual_t{t}", "Add",
+                     inputs=[outputs[t], prev_layer[t]], shape=(B, H),
+                     flops=float(B * H))
+                for t in range(T)
+            ]
+        prev_layer = outputs
+    enc_final = prev_layer
+
+    # --- Decoder with attention ---
+    dec_prev = [None] * T
+    for t in range(T):
+        dec_prev[t] = b.op(f"dec/slice_t{t}", "Split", inputs=[tgt_emb], shape=(B, H))
+    attn_ctx = []
+    for layer in range(num_layers):
+        outputs = []
+        prev_cell = None
+        for t in range(T):
+            inputs = [dec_prev[t]]
+            if prev_cell is not None:
+                inputs.append(prev_cell)
+            if layer == 0:
+                # Decoder layer 0 consumes the previous step's attention
+                # context; at t=0 it is seeded by the encoder's final state.
+                inputs.append(attn_ctx[t - 1] if t > 0 else enc_final[T - 1])
+            name = b.op(
+                f"dec/l{layer}/cell_t{t}",
+                "LSTMCell",
+                inputs=inputs,
+                shape=(B, H),
+                flops=cell_flops,
+                params=cell_params if t == 0 else 0.0,
+                act_bytes=cell_act,
+            )
+            outputs.append(name)
+            prev_cell = name
+            if layer == 0:
+                # Attention over all encoder states at each decoder step.
+                ctx = b.op(
+                    f"dec/attn_t{t}",
+                    "Attention",
+                    inputs=[name] + [enc_final[min(t, T - 1)], enc_final[0]],
+                    shape=(B, H),
+                    flops=matmul_flops(B, H, T) + matmul_flops(B, T, H),
+                    params=BYTES_PER_ELEMENT * 2 * H * H if t == 0 else 0.0,
+                    act_bytes=BYTES_PER_ELEMENT * B * (T + 2 * H),
+                )
+                attn_ctx.append(ctx)
+        if layer >= 2:
+            outputs = [
+                b.op(f"dec/l{layer}/residual_t{t}", "Add",
+                     inputs=[outputs[t], dec_prev[t]], shape=(B, H),
+                     flops=float(B * H))
+                for t in range(T)
+            ]
+        dec_prev = outputs
+
+    # --- Projection + loss per step ---
+    proj_params = BYTES_PER_ELEMENT * H * vocab
+    losses = []
+    for t in range(T):
+        logits = b.op(
+            f"proj/logits_t{t}",
+            "MatMul",
+            # GNMT concatenates the top-layer output with the attention
+            # context before the softmax projection.
+            inputs=[dec_prev[t], attn_ctx[t]],
+            shape=(B, vocab),
+            flops=matmul_flops(B, H, vocab),
+            params=proj_params if t == 0 else 0.0,
+            coloc="softmax_w",
+        )
+        losses.append(
+            b.op(f"proj/loss_t{t}", "CrossEntropy", inputs=[logits], shape=(B,),
+                 flops=4.0 * B * vocab, coloc="softmax_w")
+        )
+    total = b.op("loss/sum", "Reduce", inputs=losses, shape=(1,), flops=float(T * B))
+    total_params = 2 * emb_params + 2 * num_layers * cell_params + proj_params
+    b.op("train/apply_gradients", "ApplyGradient", inputs=[total], shape=(1,),
+         flops=3.0 * total_params / BYTES_PER_ELEMENT)
+    return b.build()

@@ -1,0 +1,163 @@
+"""Inception-V3 computational graph (Szegedy et al., 2016).
+
+The full topology: stem convolutions, 3 Inception-A blocks, a grid
+reduction, 4 Inception-B blocks, a second reduction, 2 Inception-C blocks,
+global pooling and the classifier. Branch structures and channel counts
+follow the TF-Slim implementation the paper's Human Expert baseline uses.
+
+``scale`` < 1 drops a proportional number of the *repeated* blocks (never
+the stem/reductions) to shrink the op count for fast experiments.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.graph import CompGraph
+from repro.workloads.builder import GraphBuilder
+
+
+def _inception_a(b: GraphBuilder, x: str, prefix: str, batch: int, hw: int, c_in: int, pool_ch: int) -> str:
+    """Inception-A: 1x1 / 5x5 / double-3x3 / pool branches -> concat."""
+    br0 = b.conv_block(f"{prefix}/b0_1x1", x, batch, hw, c_in, 64, 1)
+
+    br1 = b.conv_block(f"{prefix}/b1_1x1", x, batch, hw, c_in, 48, 1)
+    br1 = b.conv_block(f"{prefix}/b1_5x5", br1, batch, hw, 48, 64, 5)
+
+    br2 = b.conv_block(f"{prefix}/b2_1x1", x, batch, hw, c_in, 64, 1)
+    br2 = b.conv_block(f"{prefix}/b2_3x3a", br2, batch, hw, 64, 96, 3)
+    br2 = b.conv_block(f"{prefix}/b2_3x3b", br2, batch, hw, 96, 96, 3)
+
+    br3 = b.op(f"{prefix}/b3_pool", "AvgPool", inputs=[x], shape=(batch, hw, hw, c_in),
+               flops=9.0 * batch * hw * hw * c_in)
+    br3 = b.conv_block(f"{prefix}/b3_1x1", br3, batch, hw, c_in, pool_ch, 1)
+
+    c_out = 64 + 64 + 96 + pool_ch
+    return b.op(f"{prefix}/concat", "Concat", inputs=[br0, br1, br2, br3],
+                shape=(batch, hw, hw, c_out))
+
+
+def _inception_b(b: GraphBuilder, x: str, prefix: str, batch: int, hw: int, c_in: int, mid: int) -> str:
+    """Inception-B: factorized 7x7 branches (approximated as 7x1 kernels)."""
+    br0 = b.conv_block(f"{prefix}/b0_1x1", x, batch, hw, c_in, 192, 1)
+
+    br1 = b.conv_block(f"{prefix}/b1_1x1", x, batch, hw, c_in, mid, 1)
+    br1 = b.conv_block(f"{prefix}/b1_1x7", br1, batch, hw, mid, mid, 3)
+    br1 = b.conv_block(f"{prefix}/b1_7x1", br1, batch, hw, mid, 192, 3)
+
+    br2 = b.conv_block(f"{prefix}/b2_1x1", x, batch, hw, c_in, mid, 1)
+    br2 = b.conv_block(f"{prefix}/b2_7x1a", br2, batch, hw, mid, mid, 3)
+    br2 = b.conv_block(f"{prefix}/b2_1x7a", br2, batch, hw, mid, mid, 3)
+    br2 = b.conv_block(f"{prefix}/b2_7x1b", br2, batch, hw, mid, 192, 3)
+
+    br3 = b.op(f"{prefix}/b3_pool", "AvgPool", inputs=[x], shape=(batch, hw, hw, c_in),
+               flops=9.0 * batch * hw * hw * c_in)
+    br3 = b.conv_block(f"{prefix}/b3_1x1", br3, batch, hw, c_in, 192, 1)
+
+    return b.op(f"{prefix}/concat", "Concat", inputs=[br0, br1, br2, br3],
+                shape=(batch, hw, hw, 768))
+
+
+def _inception_c(b: GraphBuilder, x: str, prefix: str, batch: int, hw: int, c_in: int) -> str:
+    """Inception-C: expanded 3x3 branches with split/concat fan-out."""
+    br0 = b.conv_block(f"{prefix}/b0_1x1", x, batch, hw, c_in, 320, 1)
+
+    br1 = b.conv_block(f"{prefix}/b1_1x1", x, batch, hw, c_in, 384, 1)
+    br1a = b.conv_block(f"{prefix}/b1_1x3", br1, batch, hw, 384, 384, 3)
+    br1b = b.conv_block(f"{prefix}/b1_3x1", br1, batch, hw, 384, 384, 3)
+
+    br2 = b.conv_block(f"{prefix}/b2_1x1", x, batch, hw, c_in, 448, 1)
+    br2 = b.conv_block(f"{prefix}/b2_3x3", br2, batch, hw, 448, 384, 3)
+    br2a = b.conv_block(f"{prefix}/b2_1x3", br2, batch, hw, 384, 384, 3)
+    br2b = b.conv_block(f"{prefix}/b2_3x1", br2, batch, hw, 384, 384, 3)
+
+    br3 = b.op(f"{prefix}/b3_pool", "AvgPool", inputs=[x], shape=(batch, hw, hw, c_in),
+               flops=9.0 * batch * hw * hw * c_in)
+    br3 = b.conv_block(f"{prefix}/b3_1x1", br3, batch, hw, c_in, 192, 1)
+
+    return b.op(f"{prefix}/concat", "Concat",
+                inputs=[br0, br1a, br1b, br2a, br2b, br3],
+                shape=(batch, hw, hw, 2048))
+
+
+def build_inception_v3(batch_size: int = 1, scale: float = 1.0, num_classes: int = 1000) -> CompGraph:
+    """Build the Inception-V3 training graph (batch size 1 in the paper)."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    b = GraphBuilder(f"inception_v3_b{batch_size}" + ("" if scale == 1.0 else f"_s{scale}"))
+    B = batch_size
+
+    x = b.op("input", "Input", shape=(B, 299, 299, 3), cpu_only=True)
+    x = b.op("preprocess", "Identity", inputs=[x], shape=(B, 299, 299, 3),
+             flops=float(B * 299 * 299 * 3), cpu_only=True)
+
+    # Stem
+    x = b.conv_block("stem/conv0", x, B, 149, 3, 32, 3)
+    x = b.conv_block("stem/conv1", x, B, 147, 32, 32, 3)
+    x = b.conv_block("stem/conv2", x, B, 147, 32, 64, 3)
+    x = b.op("stem/pool0", "MaxPool", inputs=[x], shape=(B, 73, 73, 64),
+             flops=9.0 * B * 73 * 73 * 64)
+    x = b.conv_block("stem/conv3", x, B, 73, 64, 80, 1)
+    x = b.conv_block("stem/conv4", x, B, 71, 80, 192, 3)
+    x = b.op("stem/pool1", "MaxPool", inputs=[x], shape=(B, 35, 35, 192),
+             flops=9.0 * B * 35 * 35 * 192)
+
+    # Inception-A x3 at 35x35
+    n_a = max(1, ceil(3 * scale))
+    c_in = 192
+    for i in range(n_a):
+        pool_ch = 32 if i == 0 else 64
+        x = _inception_a(b, x, f"mixed_a{i}", B, 35, c_in, pool_ch)
+        c_in = 224 + pool_ch
+
+    # Grid reduction to 17x17
+    r0 = b.conv_block("reduction_a/b0_3x3", x, B, 17, c_in, 384, 3)
+    r1 = b.conv_block("reduction_a/b1_1x1", x, B, 35, c_in, 64, 1)
+    r1 = b.conv_block("reduction_a/b1_3x3a", r1, B, 35, 64, 96, 3)
+    r1 = b.conv_block("reduction_a/b1_3x3b", r1, B, 17, 96, 96, 3)
+    r2 = b.op("reduction_a/pool", "MaxPool", inputs=[x], shape=(B, 17, 17, c_in),
+              flops=9.0 * B * 17 * 17 * c_in)
+    x = b.op("reduction_a/concat", "Concat", inputs=[r0, r1, r2],
+             shape=(B, 17, 17, 384 + 96 + c_in))
+    c_in = 384 + 96 + c_in
+
+    # Inception-B x4 at 17x17
+    n_b = max(1, ceil(4 * scale))
+    mids = [128, 160, 160, 192]
+    for i in range(n_b):
+        x = _inception_b(b, x, f"mixed_b{i}", B, 17, c_in, mids[i % 4])
+        c_in = 768
+
+    # Grid reduction to 8x8
+    r0 = b.conv_block("reduction_b/b0_1x1", x, B, 17, c_in, 192, 1)
+    r0 = b.conv_block("reduction_b/b0_3x3", r0, B, 8, 192, 320, 3)
+    r1 = b.conv_block("reduction_b/b1_1x1", x, B, 17, c_in, 192, 1)
+    r1 = b.conv_block("reduction_b/b1_1x7", r1, B, 17, 192, 192, 3)
+    r1 = b.conv_block("reduction_b/b1_7x1", r1, B, 17, 192, 192, 3)
+    r1 = b.conv_block("reduction_b/b1_3x3", r1, B, 8, 192, 192, 3)
+    r2 = b.op("reduction_b/pool", "MaxPool", inputs=[x], shape=(B, 8, 8, c_in),
+              flops=9.0 * B * 8 * 8 * c_in)
+    x = b.op("reduction_b/concat", "Concat", inputs=[r0, r1, r2],
+             shape=(B, 8, 8, 320 + 192 + c_in))
+    c_in = 320 + 192 + c_in
+
+    # Inception-C x2 at 8x8
+    n_c = max(1, ceil(2 * scale))
+    for i in range(n_c):
+        x = _inception_c(b, x, f"mixed_c{i}", B, 8, c_in)
+        c_in = 2048
+
+    # Head
+    x = b.op("head/pool", "AvgPool", inputs=[x], shape=(B, 1, 1, c_in),
+             flops=float(B * 8 * 8 * c_in))
+    x = b.op("head/dropout", "Dropout", inputs=[x], shape=(B, 1, 1, c_in),
+             flops=float(B * c_in))
+    x = b.op("head/reshape", "Reshape", inputs=[x], shape=(B, c_in))
+    x = b.op("head/logits", "MatMul", inputs=[x], shape=(B, num_classes),
+             flops=2.0 * B * c_in * num_classes,
+             params=4.0 * c_in * num_classes)
+    x = b.op("head/loss", "CrossEntropy", inputs=[x], shape=(B,),
+             flops=4.0 * B * num_classes)
+    b.op("train/apply_gradients", "ApplyGradient", inputs=[x], shape=(1,),
+         flops=3.0 * 24e6, cpu_only=False)
+    return b.build()

@@ -1,0 +1,38 @@
+"""Workload registry — name-based lookup used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph import CompGraph
+from repro.workloads.bert import build_bert
+from repro.workloads.gnmt import build_gnmt
+from repro.workloads.inception import build_inception_v3
+from repro.workloads.resnet import build_resnet50
+from repro.workloads.seq2seq_wl import build_seq2seq
+from repro.workloads.transformer_wl import build_transformer
+from repro.workloads.vgg import build_vgg16
+
+WORKLOADS: Dict[str, Callable[..., CompGraph]] = {
+    "inception_v3": build_inception_v3,
+    "gnmt4": build_gnmt,
+    "bert": build_bert,
+    "vgg16": build_vgg16,
+    "resnet50": build_resnet50,
+    "seq2seq": build_seq2seq,
+    "transformer": build_transformer,
+}
+
+
+def list_workloads() -> List[str]:
+    """Names of all registered workload generators, sorted."""
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str, **kwargs) -> CompGraph:
+    """Build workload ``name`` with generator-specific ``kwargs``."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown workload {name!r}; choose from {list_workloads()}") from exc
+    return builder(**kwargs)

@@ -1,0 +1,74 @@
+"""ResNet-50 computational graph (He et al., 2016).
+
+Not part of the paper's benchmark trio, but the standard extra vision
+workload in follow-up device-placement work (Placeto, GDP) — included so
+downstream users have a second large CNN, and as another generalization
+source.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.graph import CompGraph
+from repro.workloads.builder import GraphBuilder, matmul_flops
+
+# (number of bottleneck blocks, base width, spatial size)
+_STAGES = [
+    (3, 64, 56),
+    (4, 128, 28),
+    (6, 256, 14),
+    (3, 512, 7),
+]
+
+
+def _bottleneck(b: GraphBuilder, x: str, prefix: str, batch: int, hw: int,
+                c_in: int, width: int, downsample: bool) -> str:
+    """1x1 -> 3x3 -> 1x1 bottleneck with residual connection."""
+    c_out = 4 * width
+    br = b.conv_block(f"{prefix}/conv1", x, batch, hw, c_in, width, 1)
+    br = b.conv_block(f"{prefix}/conv2", br, batch, hw, width, width, 3)
+    br = b.conv_block(f"{prefix}/conv3", br, batch, hw, width, c_out, 1, with_bn_relu=False)
+    br = b.op(f"{prefix}/bn3", "BatchNorm", inputs=[br], shape=(batch, hw, hw, c_out),
+              flops=4.0 * batch * hw * hw * c_out, params=16.0 * c_out)
+    if downsample:
+        shortcut = b.conv_block(f"{prefix}/shortcut", x, batch, hw, c_in, c_out, 1,
+                                with_bn_relu=False)
+    else:
+        shortcut = x
+    out = b.op(f"{prefix}/add", "Add", inputs=[br, shortcut],
+               shape=(batch, hw, hw, c_out), flops=float(batch * hw * hw * c_out))
+    return b.op(f"{prefix}/relu", "ReLU", inputs=[out],
+                shape=(batch, hw, hw, c_out), flops=float(batch * hw * hw * c_out))
+
+
+def build_resnet50(batch_size: int = 32, scale: float = 1.0, num_classes: int = 1000) -> CompGraph:
+    """Build the ResNet-50 training graph."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    b = GraphBuilder(f"resnet50_b{batch_size}" + ("" if scale == 1.0 else f"_s{scale}"))
+    B = batch_size
+
+    x = b.op("input", "Input", shape=(B, 224, 224, 3), cpu_only=True)
+    x = b.conv_block("stem/conv", x, B, 112, 3, 64, 7)
+    x = b.op("stem/pool", "MaxPool", inputs=[x], shape=(B, 56, 56, 64),
+             flops=9.0 * B * 56 * 56 * 64)
+
+    c_in = 64
+    for stage, (blocks, width, hw) in enumerate(_STAGES):
+        n = max(1, ceil(blocks * scale))
+        for i in range(n):
+            x = _bottleneck(b, x, f"stage{stage}/block{i}", B, hw, c_in, width,
+                            downsample=(i == 0))
+            c_in = 4 * width
+
+    x = b.op("head/pool", "AvgPool", inputs=[x], shape=(B, 1, 1, c_in),
+             flops=float(B * 7 * 7 * c_in))
+    x = b.op("head/reshape", "Reshape", inputs=[x], shape=(B, c_in))
+    x = b.op("head/fc", "MatMul", inputs=[x], shape=(B, num_classes),
+             flops=matmul_flops(B, c_in, num_classes), params=4.0 * c_in * num_classes)
+    x = b.op("head/loss", "CrossEntropy", inputs=[x], shape=(B,),
+             flops=4.0 * B * num_classes)
+    b.op("train/apply_gradients", "ApplyGradient", inputs=[x], shape=(1,),
+         flops=3.0 * 25.6e6)
+    return b.build()

@@ -1,0 +1,77 @@
+"""A plain 2-layer seq2seq translation model (generalization study).
+
+Used as the "similar type" training workload for GNMT-4 in Table 3 —
+structurally an RNN encoder-decoder like GNMT but smaller and without
+attention/residuals.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.graph import CompGraph
+from repro.workloads.builder import BYTES_PER_ELEMENT, GraphBuilder, lstm_cell_flops, matmul_flops
+
+
+def build_seq2seq(
+    batch_size: int = 128,
+    seq_len: int = 30,
+    scale: float = 1.0,
+    hidden: int = 512,
+    vocab: int = 16000,
+    num_layers: int = 2,
+) -> CompGraph:
+    """Build an unrolled vanilla seq2seq training graph."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    T = max(4, ceil(seq_len * scale))
+    B, H = batch_size, hidden
+    b = GraphBuilder(f"seq2seq_b{B}" + ("" if scale == 1.0 else f"_s{scale}"))
+
+    src = b.op("src_input", "Input", shape=(T, B), cpu_only=True)
+    tgt = b.op("tgt_input", "Input", shape=(T, B), cpu_only=True)
+    emb_params = BYTES_PER_ELEMENT * vocab * H
+    src_emb = b.op("src_embedding", "Embedding", inputs=[src], shape=(T, B, H),
+                   flops=float(T * B * H), params=emb_params)
+    tgt_emb = b.op("tgt_embedding", "Embedding", inputs=[tgt], shape=(T, B, H),
+                   flops=float(T * B * H), params=emb_params)
+
+    cell_params = BYTES_PER_ELEMENT * (2 * H) * 4 * H
+    cell_flops = lstm_cell_flops(B, H, H)
+    cell_act = BYTES_PER_ELEMENT * B * H * 6
+
+    def unroll(prefix: str, emb: str, carry_in: str = None) -> list:
+        prev = [b.op(f"{prefix}/slice_t{t}", "Split", inputs=[emb], shape=(B, H))
+                for t in range(T)]
+        last = None
+        for layer in range(num_layers):
+            outs = []
+            prev_cell = carry_in if layer == 0 else None
+            for t in range(T):
+                inputs = [prev[t]]
+                if prev_cell is not None:
+                    inputs.append(prev_cell)
+                name = b.op(f"{prefix}/l{layer}/cell_t{t}", "LSTMCell", inputs=inputs,
+                            shape=(B, H), flops=cell_flops,
+                            params=cell_params if t == 0 else 0.0, act_bytes=cell_act)
+                outs.append(name)
+                prev_cell = name
+            prev = outs
+            last = prev_cell
+        return prev, last
+
+    _, enc_state = unroll("enc", src_emb)
+    dec_out, _ = unroll("dec", tgt_emb, carry_in=enc_state)
+
+    proj_params = BYTES_PER_ELEMENT * H * vocab
+    losses = []
+    for t in range(T):
+        logits = b.op(f"proj/logits_t{t}", "MatMul", inputs=[dec_out[t]],
+                      shape=(B, vocab), flops=matmul_flops(B, H, vocab),
+                      params=proj_params if t == 0 else 0.0, coloc="softmax_w")
+        losses.append(b.op(f"proj/loss_t{t}", "CrossEntropy", inputs=[logits],
+                           shape=(B,), flops=4.0 * B * vocab, coloc="softmax_w"))
+    total = b.op("loss/sum", "Reduce", inputs=losses, shape=(1,), flops=float(T * B))
+    b.op("train/apply_gradients", "ApplyGradient", inputs=[total], shape=(1,),
+         flops=3.0 * (2 * emb_params + 2 * num_layers * cell_params) / BYTES_PER_ELEMENT)
+    return b.build()

@@ -1,0 +1,48 @@
+"""A 6-layer Transformer encoder (generalization study, Table 3).
+
+Used as the "similar type" training workload for BERT — same block
+structure, smaller depth/sequence/batch.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.graph import CompGraph
+from repro.workloads.bert import _attention_block, _ffn_block
+from repro.workloads.builder import BYTES_PER_ELEMENT, GraphBuilder, matmul_flops
+
+
+def build_transformer(
+    batch_size: int = 32,
+    seq_len: int = 128,
+    scale: float = 1.0,
+    num_layers: int = 6,
+    hidden: int = 512,
+    heads: int = 8,
+    ffn: int = 2048,
+    vocab: int = 16000,
+) -> CompGraph:
+    """Build a Transformer encoder training graph (post-norm, BERT-style)."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    L = max(2, ceil(num_layers * scale))
+    B, S, H = batch_size, seq_len, hidden
+    tokens = B * S
+    b = GraphBuilder(f"transformer_b{B}" + ("" if scale == 1.0 else f"_s{scale}"))
+
+    ids = b.op("input_ids", "Input", shape=(B, S), cpu_only=True)
+    x = b.op("embeddings/lookup", "Embedding", inputs=[ids], shape=(B, S, H),
+             flops=float(tokens * H), params=BYTES_PER_ELEMENT * vocab * H,
+             coloc="tfm_embed")
+    for i in range(L):
+        x = _attention_block(b, x, f"layer{i}/attention", B, S, H, heads)
+        x = _ffn_block(b, x, f"layer{i}/ffn", B, S, H, ffn)
+    logits = b.op("head/logits", "MatMul", inputs=[x], shape=(B, S, vocab),
+                  flops=matmul_flops(tokens, H, vocab), coloc="tfm_embed",
+                  act_bytes=BYTES_PER_ELEMENT * tokens * vocab)
+    loss = b.op("head/loss", "CrossEntropy", inputs=[logits], shape=(1,),
+                flops=4.0 * tokens * vocab, coloc="tfm_embed")
+    b.op("train/apply_gradients", "ApplyGradient", inputs=[loss], shape=(1,),
+         flops=3.0 * (vocab * H + L * 12 * H * H))
+    return b.build()

@@ -1,0 +1,54 @@
+"""VGG16 computational graph (generalization study, Table 3).
+
+Used as the "similar type" training workload for Inception-V3 and the
+"different type" workload for BERT.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.graph import CompGraph
+from repro.workloads.builder import GraphBuilder, matmul_flops
+
+# (blocks of convs, channels, spatial size after the block's pool)
+_STAGES = [
+    (2, 64, 112),
+    (2, 128, 56),
+    (3, 256, 28),
+    (3, 512, 14),
+    (3, 512, 7),
+]
+
+
+def build_vgg16(batch_size: int = 32, scale: float = 1.0, num_classes: int = 1000) -> CompGraph:
+    """Build the VGG16 training graph."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    b = GraphBuilder(f"vgg16_b{batch_size}" + ("" if scale == 1.0 else f"_s{scale}"))
+    B = batch_size
+
+    x = b.op("input", "Input", shape=(B, 224, 224, 3), cpu_only=True)
+    c_in = 3
+    hw = 224
+    for stage, (n_convs, c_out, out_hw) in enumerate(_STAGES):
+        n = max(1, ceil(n_convs * scale))
+        for i in range(n):
+            x = b.conv_block(f"stage{stage}/conv{i}", x, B, hw, c_in, c_out, 3)
+            c_in = c_out
+        x = b.op(f"stage{stage}/pool", "MaxPool", inputs=[x],
+                 shape=(B, out_hw, out_hw, c_out), flops=4.0 * B * hw * hw * c_out)
+        hw = out_hw
+
+    x = b.op("flatten", "Reshape", inputs=[x], shape=(B, 7 * 7 * 512))
+    fc_dims = [(7 * 7 * 512, 4096), (4096, 4096), (4096, num_classes)]
+    for i, (d_in, d_out) in enumerate(fc_dims):
+        x = b.op(f"fc{i}", "MatMul", inputs=[x], shape=(B, d_out),
+                 flops=matmul_flops(B, d_in, d_out), params=4.0 * d_in * d_out)
+        if i < 2:
+            x = b.op(f"fc{i}/relu", "ReLU", inputs=[x], shape=(B, d_out),
+                     flops=float(B * d_out))
+    x = b.op("loss", "CrossEntropy", inputs=[x], shape=(B,), flops=4.0 * B * num_classes)
+    b.op("train/apply_gradients", "ApplyGradient", inputs=[x], shape=(1,),
+         flops=3.0 * 138e6)
+    return b.build()

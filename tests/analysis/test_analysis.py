@@ -1,0 +1,123 @@
+"""Tests for the placement analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_placement,
+    build_timeline,
+    critical_path,
+    critical_path_ops,
+    curves_to_csv,
+    history_to_rows,
+    render_timeline,
+)
+from repro.rl.trainer import SearchHistory, SearchRecord
+from repro.sim import ClusterSpec, Placement, Scheduler
+from tests.helpers import tiny_graph
+
+
+@pytest.fixture
+def placed():
+    g = tiny_graph()
+    c = ClusterSpec.default()
+    return g, c, Placement([4, 0, 1, 0, 1, 4], g, c)
+
+
+class TestReport:
+    def test_report_fields(self, placed):
+        g, c, p = placed
+        report = analyze_placement(p)
+        assert report.makespan > 0
+        assert report.cut_edges == p.num_cut_edges()
+        assert report.fits_memory
+        assert sum(report.device_op_counts.values()) == g.num_nodes
+
+    def test_busy_matches_scheduler(self, placed):
+        g, c, p = placed
+        report = analyze_placement(p)
+        sched = Scheduler().run_step(p)
+        assert report.device_busy["gpu:0"] == pytest.approx(sched.device_busy[0])
+
+    def test_utilization_bounded(self, placed):
+        _, _, p = placed
+        report = analyze_placement(p)
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in report.device_utilization.values())
+
+    def test_summary_text(self, placed):
+        _, _, p = placed
+        text = analyze_placement(p).summary()
+        assert "cut edges" in text and "gpu:0" in text
+
+    def test_oom_warning_in_summary(self):
+        g = tiny_graph()
+        g.nodes[1].param_bytes = 50 * 2**30
+        c = ClusterSpec.default()
+        text = analyze_placement(Placement([0] * 6, g, c)).summary()
+        assert "OOM" in text
+
+
+class TestTimeline:
+    def test_intervals_cover_all_ops(self, placed):
+        g, _, p = placed
+        timelines = build_timeline(p)
+        total_ops = sum(len(tl.intervals) for tl in timelines)
+        assert total_ops == g.num_nodes
+
+    def test_intervals_non_overlapping_per_device(self, placed):
+        _, _, p = placed
+        for tl in build_timeline(p):
+            for (a, b) in zip(tl.intervals, tl.intervals[1:]):
+                assert a[2] <= b[1] + 1e-12  # previous end <= next start
+
+    def test_render_contains_device_names(self, placed):
+        _, _, p = placed
+        text = render_timeline(build_timeline(p))
+        assert "gpu:0" in text and "#" in text
+
+    def test_render_empty(self):
+        from repro.analysis.timeline import DeviceTimeline
+
+        assert "empty" in render_timeline([DeviceTimeline("gpu:0", [])])
+
+
+class TestCriticalPath:
+    def test_lower_bound_without_placement(self, placed):
+        g, c, p = placed
+        unplaced, _ = critical_path(g, c)
+        placed_len, _ = critical_path(g, c, p)
+        assert unplaced <= placed_len + 1e-12
+
+    def test_path_is_connected_chain(self, placed):
+        g, c, p = placed
+        path = critical_path_ops(g, c, p)
+        assert path[0] in [i for i in range(g.num_nodes) if not g.predecessors(i)]
+        for u, v in zip(path, path[1:]):
+            assert u in g.predecessors(v)
+
+    def test_single_device_critical_path_leq_makespan(self, placed):
+        g, c, _ = placed
+        p = Placement([0] * 6, g, c)
+        cp, _ = critical_path(g, c, p)
+        makespan = Scheduler().run_step(p).makespan
+        assert cp <= makespan + 1e-12
+
+
+class TestExport:
+    def _history(self):
+        h = SearchHistory()
+        h.records.append(SearchRecord(0, 10, [1.0], [1.0], 0, 0, 1.0, -1.0, 100.0))
+        h.records.append(SearchRecord(1, 20, [0.5], [0.5], 1, 0, 0.5, -0.9, 200.0))
+        return h
+
+    def test_history_rows(self):
+        rows = history_to_rows(self._history())
+        assert len(rows) == 2
+        assert rows[1]["best_runtime"] == 0.5
+        assert rows[1]["sim_clock_hours"] == pytest.approx(200 / 3600)
+
+    def test_curves_csv(self, tmp_path):
+        path = str(tmp_path / "curves.csv")
+        text = curves_to_csv({"mars": ([10, 20], [0.5, 0.4])}, path)
+        assert "mars,10,0.5" in text
+        assert open(path).read() == text

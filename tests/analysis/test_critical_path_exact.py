@@ -1,0 +1,61 @@
+"""Exact-value critical-path tests on hand-constructed graphs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import critical_path, critical_path_ops
+from repro.graph import CompGraph, OpNode
+from repro.sim import ClusterSpec, CostModel, Placement
+
+
+@pytest.fixture
+def cluster():
+    return ClusterSpec.default()
+
+
+def chain(n, flops):
+    g = CompGraph("chain")
+    prev = None
+    for i in range(n):
+        g.add_node(OpNode(f"op{i}", "Conv2D", (8, 8), flops=flops),
+                   inputs=[prev] if prev else [])
+        prev = f"op{i}"
+    return g
+
+
+class TestExactValues:
+    def test_chain_lower_bound_is_sum_of_best_times(self, cluster):
+        g = chain(4, 1e10)
+        cm = CostModel()
+        best = cm.op_time_matrix(g, cluster).min(axis=1)
+        total, _ = critical_path(g, cluster, cost_model=cm)
+        assert total == pytest.approx(best.sum())
+
+    def test_diamond_takes_heavier_branch(self, cluster):
+        g = CompGraph("diamond")
+        g.add_node(OpNode("src", "Conv2D", (1,), flops=1e9))
+        g.add_node(OpNode("light", "Conv2D", (1,), flops=1e8), inputs=["src"])
+        g.add_node(OpNode("heavy", "Conv2D", (1,), flops=1e11), inputs=["src"])
+        g.add_node(OpNode("sink", "Concat", (2,)), inputs=["light", "heavy"])
+        path = critical_path_ops(g, cluster)
+        names = [g.nodes[i].name for i in path]
+        assert names == ["src", "heavy", "sink"]
+
+    def test_placement_transfer_added_exactly(self, cluster):
+        g = chain(2, 1e10)
+        cm = CostModel()
+        same = Placement([0, 0], g, cluster)
+        split = Placement([0, 1], g, cluster)
+        t_same, _ = critical_path(g, cluster, same, cm)
+        t_split, _ = critical_path(g, cluster, split, cm)
+        transfer = cm.transfer_time(g.nodes[0].output_bytes, cluster, 0, 1)
+        assert t_split - t_same == pytest.approx(transfer)
+
+    def test_per_op_longest_monotone_along_chain(self, cluster):
+        g = chain(5, 1e9)
+        _, longest = critical_path(g, cluster)
+        assert np.all(np.diff(longest) > 0)
+
+    def test_empty_graph(self, cluster):
+        total, longest = critical_path(CompGraph("empty"), cluster)
+        assert total == 0.0 and longest.size == 0

@@ -1,0 +1,118 @@
+"""Tests for the encoder-placer policy agents."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile
+from repro.core import (
+    build_encoder_placer_agent,
+    build_mars_agent,
+    build_placer_study_agent,
+)
+from repro.core.agents import _IdentityEncoder, EncoderPlacerPolicy
+from repro.sim import ClusterSpec
+from repro.workloads import build_vgg16
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = build_vgg16(scale=0.25, batch_size=4)
+    cluster = ClusterSpec.default()
+    cfg = fast_profile(seed=0)
+    return graph, cluster, cfg
+
+
+class TestMarsAgent:
+    def test_sample_contract(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_mars_agent(graph, cluster, cfg)
+        rollout = agent.sample(5, np.random.default_rng(0))
+        assert rollout.placements.shape == (5, graph.num_nodes)
+        assert rollout.old_logp.shape == (5, graph.num_nodes)
+        assert rollout.placements.max() < cluster.num_devices
+
+    def test_evaluate_matches_sampling_logp(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_mars_agent(graph, cluster, cfg)
+        rollout = agent.sample(3, np.random.default_rng(1))
+        logp, entropy = agent.evaluate(rollout.internal)
+        assert np.allclose(logp.data, rollout.old_logp, atol=1e-10)
+        assert logp.requires_grad and entropy.requires_grad
+
+    def test_sampling_is_gradient_free(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_mars_agent(graph, cluster, cfg)
+        rollout = agent.sample(2, np.random.default_rng(2))
+        assert all(p.grad is None for p in agent.parameters())
+
+    def test_pretrain_returns_positive_clock(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_mars_agent(graph, cluster, cfg)
+        cfg.pretrain.iterations = 10
+        clock = agent.pretrain(cfg.pretrain, seed=0)
+        assert clock > 0
+        assert agent.pretrain_result is not None
+
+    def test_pretrain_disabled(self, setting):
+        graph, cluster, cfg = setting
+        from dataclasses import replace
+
+        agent = build_mars_agent(graph, cluster, cfg)
+        clock = agent.pretrain(replace(cfg.pretrain, enabled=False))
+        assert clock == 0.0 and agent.pretrain_result is None
+
+    def test_update_flops_positive(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_mars_agent(graph, cluster, cfg)
+        assert agent.update_flops(4) > 0
+
+    def test_state_dict_roundtrip_same_policy(self, setting):
+        graph, cluster, cfg = setting
+        a = build_mars_agent(graph, cluster, cfg)
+        from repro.config import with_seed
+
+        b = build_mars_agent(graph, cluster, with_seed(cfg, 99))
+        b.load_state_dict(a.state_dict())
+        ra = a.sample(2, np.random.default_rng(7))
+        rb = b.sample(2, np.random.default_rng(7))
+        assert np.array_equal(ra.placements, rb.placements)
+
+
+class TestEncoderPlacerAgent:
+    def test_gdp_uses_sage_and_txl(self, setting):
+        graph, cluster, cfg = setting
+        from repro.gnn import GraphSAGEEncoder
+        from repro.placers import TransformerXLPlacer
+
+        agent = build_encoder_placer_agent(graph, cluster, cfg)
+        assert isinstance(agent.encoder, GraphSAGEEncoder)
+        assert isinstance(agent.placer, TransformerXLPlacer)
+
+    def test_sample_and_evaluate(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_encoder_placer_agent(graph, cluster, cfg)
+        rollout = agent.sample(4, np.random.default_rng(3))
+        logp, _ = agent.evaluate(rollout.internal)
+        assert np.allclose(logp.data, rollout.old_logp, atol=1e-10)
+
+
+class TestPlacerStudyAgents:
+    @pytest.mark.parametrize("kind", ["seq2seq", "segment_seq2seq", "transformer_xl", "mlp"])
+    def test_all_kinds_build_and_sample(self, setting, kind):
+        graph, cluster, cfg = setting
+        agent = build_placer_study_agent(graph, cluster, cfg, kind)
+        rollout = agent.sample(2, np.random.default_rng(4))
+        assert rollout.placements.shape == (2, graph.num_nodes)
+
+    def test_unknown_kind(self, setting):
+        graph, cluster, cfg = setting
+        with pytest.raises(ValueError):
+            build_placer_study_agent(graph, cluster, cfg, "gru")
+
+
+class TestIdentityEncoder:
+    def test_passthrough(self, setting):
+        graph, cluster, cfg = setting
+        enc = _IdentityEncoder(5)
+        x = np.ones((3, 5))
+        assert np.array_equal(enc(x, None).data, x)

@@ -1,0 +1,68 @@
+"""Tests for the simulated-annealing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnnealingConfig, anneal_placement
+from repro.core.annealing import _propose
+from repro.sim import ClusterSpec, PlacementEnv
+from repro.workloads import build_vgg16
+from tests.helpers import tiny_graph
+
+
+@pytest.fixture(scope="module")
+def env():
+    return PlacementEnv(build_vgg16(scale=0.25, batch_size=4), ClusterSpec.default())
+
+
+class TestProposal:
+    def test_single_op_move_changes_at_most_block(self):
+        rng = np.random.default_rng(0)
+        cfg = AnnealingConfig(block_move_probability=0.0)
+        actions = np.zeros(20, dtype=np.int64)
+        out = _propose(actions, 4, cfg, rng)
+        assert (out != actions).sum() <= 1
+
+    def test_block_move_is_contiguous(self):
+        rng = np.random.default_rng(1)
+        cfg = AnnealingConfig(block_move_probability=1.0, max_block=5)
+        actions = np.zeros(30, dtype=np.int64)
+        out = _propose(actions, 4, cfg, rng)
+        changed = np.flatnonzero(out != actions)
+        if changed.size:
+            assert changed.max() - changed.min() + 1 == changed.size
+            assert changed.size <= 5
+
+    def test_input_not_mutated(self):
+        actions = np.zeros(10, dtype=np.int64)
+        _propose(actions, 4, AnnealingConfig(), np.random.default_rng(2))
+        assert np.all(actions == 0)
+
+
+class TestAnnealing:
+    def test_improves_over_first_sample(self, env):
+        result = anneal_placement(env, AnnealingConfig(evaluations=120, seed=0))
+        assert result.best_runtime <= result.runtimes[0]
+        assert len(result.runtimes) == 120
+
+    def test_best_placement_is_valid_runtime(self, env):
+        result = anneal_placement(env, AnnealingConfig(evaluations=80, seed=1))
+        final = env.final_run(result.best_placement)
+        assert np.isfinite(final)
+        assert final == pytest.approx(result.best_runtime, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        g = tiny_graph()
+        c = ClusterSpec.default()
+        results = []
+        for _ in range(2):
+            env = PlacementEnv(g, c)
+            results.append(anneal_placement(env, AnnealingConfig(evaluations=50, seed=3)))
+        assert results[0].best_runtime == results[1].best_runtime
+        assert np.array_equal(results[0].best_placement, results[1].best_placement)
+
+    def test_wall_clock_charged(self, env):
+        before = env.stats.wall_clock
+        result = anneal_placement(env, AnnealingConfig(evaluations=30, seed=4))
+        assert result.wall_clock > 0
+        assert env.stats.wall_clock == pytest.approx(before + result.wall_clock)

@@ -1,0 +1,56 @@
+"""Tests for agent checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile, with_seed
+from repro.core import build_mars_agent, greedy_placement, load_agent, save_agent
+from repro.sim import ClusterSpec, PlacementEnv
+from repro.workloads import build_vgg16
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = build_vgg16(scale=0.25, batch_size=4)
+    cluster = ClusterSpec.default()
+    cfg = fast_profile(seed=0)
+    agent = build_mars_agent(graph, cluster, cfg)
+    return graph, cluster, cfg, agent
+
+
+class TestCheckpoint:
+    def test_roundtrip_same_policy(self, setting, tmp_path):
+        graph, cluster, cfg, agent = setting
+        path = str(tmp_path / "agent")
+        save_agent(path, agent, "mars", workload=graph.name)
+        restored, meta = load_agent(path, graph, cluster, with_seed(cfg, 77))
+        assert meta["workload"] == graph.name
+        a = agent.sample(2, np.random.default_rng(3))
+        b = restored.sample(2, np.random.default_rng(3))
+        assert np.array_equal(a.placements, b.placements)
+
+    def test_metadata_sidecar(self, setting, tmp_path):
+        graph, cluster, cfg, agent = setting
+        path = str(tmp_path / "agent")
+        save_agent(path, agent, "mars")
+        import json
+
+        meta = json.load(open(path + ".json"))
+        assert meta["num_ops"] == graph.num_nodes
+        assert meta["num_parameters"] == agent.num_parameters()
+
+    def test_device_count_mismatch_rejected(self, setting, tmp_path):
+        graph, cluster, cfg, agent = setting
+        path = str(tmp_path / "agent")
+        save_agent(path, agent, "mars")
+        small = ClusterSpec.default(num_gpus=2)
+        with pytest.raises(ValueError, match="devices"):
+            load_agent(path, graph, small, cfg)
+
+    def test_greedy_placement_deterministic(self, setting):
+        graph, cluster, cfg, agent = setting
+        env = PlacementEnv(graph, cluster)
+        a = greedy_placement(agent, env)
+        b = greedy_placement(agent, env)
+        assert np.array_equal(a, b)
+        assert a.shape == (graph.num_nodes,)

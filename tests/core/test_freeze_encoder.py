@@ -1,0 +1,65 @@
+"""Tests for the frozen-encoder mode used by the Table 1 placer study."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile
+from repro.core.search import build_agent
+from repro.graph import FeatureExtractor
+from repro.sim import ClusterSpec
+from repro.workloads import build_vgg16
+
+
+@pytest.fixture(scope="module")
+def study_agent():
+    graph = build_vgg16(scale=0.25, batch_size=4)
+    cluster = ClusterSpec.default()
+    cfg = fast_profile(seed=0)
+    cfg.pretrain.iterations = 5
+    agent, _ = build_agent("study:segment_seq2seq", graph, cluster, cfg, FeatureExtractor())
+    return agent
+
+
+class TestFrozenEncoder:
+    def test_parameters_exclude_encoder(self, study_agent):
+        assert study_agent.freeze_encoder
+        placer_count = len(study_agent.placer.parameters())
+        assert len(study_agent.parameters()) == placer_count
+
+    def test_state_dict_still_full(self, study_agent):
+        """Checkpointing must include the (frozen) encoder weights."""
+        names = set(study_agent.state_dict())
+        assert any(name.startswith("encoder.") for name in names)
+        assert any(name.startswith("placer.") for name in names)
+
+    def test_representations_detached(self, study_agent):
+        reps = study_agent.node_representations()
+        assert not reps.requires_grad
+
+    def test_encoder_untouched_by_update(self, study_agent):
+        from repro.rl.ppo import PPOConfig, PPOUpdater
+
+        before = {
+            k: v.copy()
+            for k, v in study_agent.state_dict().items()
+            if k.startswith("encoder.")
+        }
+        rollout = study_agent.sample(4, np.random.default_rng(0))
+        updater = PPOUpdater(study_agent, PPOConfig(learning_rate=0.1), seed=0)
+        updater.update(rollout, np.linspace(-1, 1, 4))
+        after = study_agent.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_placer_moves(self, study_agent):
+        before = {
+            k: v.copy()
+            for k, v in study_agent.state_dict().items()
+            if k.startswith("placer.")
+        }
+        from repro.rl.ppo import PPOConfig, PPOUpdater
+
+        rollout = study_agent.sample(4, np.random.default_rng(1))
+        updater = PPOUpdater(study_agent, PPOConfig(learning_rate=0.1), seed=0)
+        updater.update(rollout, np.linspace(-1, 1, 4))
+        after = study_agent.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)

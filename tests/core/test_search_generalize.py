@@ -1,0 +1,91 @@
+"""Integration tests: optimize_placement and the generalization pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile
+from repro.core import optimize_placement, transfer_agent
+from repro.core.generalize import generalization_run
+from repro.core.search import AGENT_BUILDERS, build_agent
+from repro.graph import FeatureExtractor
+from repro.sim import ClusterSpec
+from repro.workloads import build_vgg16, build_transformer
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    return fast_profile(seed=0, iterations=3)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_vgg16(scale=0.25, batch_size=4)
+
+
+class TestOptimizePlacement:
+    def test_returns_complete_result(self, graph, quick_cfg):
+        res = optimize_placement(graph, ClusterSpec.default(), "mars", quick_cfg)
+        assert res.workload == graph.name
+        assert res.agent_kind == "mars"
+        assert np.isfinite(res.final_runtime)
+        assert res.history.best_placement is not None
+        assert res.training_hours > 0
+
+    @pytest.mark.parametrize(
+        "kind", ["mars_no_pretrain", "grouper_placer", "encoder_placer", "study:mlp"]
+    )
+    def test_all_agent_kinds_run(self, graph, quick_cfg, kind):
+        res = optimize_placement(graph, ClusterSpec.default(), kind, quick_cfg)
+        assert np.isfinite(res.final_runtime)
+
+    def test_unknown_agent_kind(self, graph, quick_cfg):
+        with pytest.raises(KeyError, match="unknown agent kind"):
+            optimize_placement(graph, ClusterSpec.default(), "alphaplace", quick_cfg)
+
+    def test_registry_contains_expected_kinds(self):
+        assert {"mars", "mars_no_pretrain", "grouper_placer", "encoder_placer"} <= set(
+            AGENT_BUILDERS
+        )
+
+    def test_mars_pretrain_clock_counted(self, graph, quick_cfg):
+        res = optimize_placement(graph, ClusterSpec.default(), "mars", quick_cfg)
+        assert res.history.pretrain_clock > 0
+        res2 = optimize_placement(graph, ClusterSpec.default(), "mars_no_pretrain", quick_cfg)
+        assert res2.history.pretrain_clock == 0.0
+
+    def test_reproducible_given_seed(self, graph):
+        cfg = fast_profile(seed=5, iterations=2)
+        a = optimize_placement(graph, ClusterSpec.default(), "mars_no_pretrain", cfg)
+        b = optimize_placement(graph, ClusterSpec.default(), "mars_no_pretrain", cfg)
+        assert a.history.best_runtime == b.history.best_runtime
+        assert np.array_equal(a.history.best_placement, b.history.best_placement)
+
+
+class TestTransfer:
+    def test_transfer_agent_copies_weights(self, graph, quick_cfg):
+        cluster = ClusterSpec.default()
+        fx = FeatureExtractor()
+        source, _ = build_agent("mars_no_pretrain", graph, cluster, quick_cfg, fx)
+        target_graph = build_transformer(scale=0.3, batch_size=4)
+        target = transfer_agent(source, target_graph, cluster, quick_cfg, feature_extractor=fx)
+        src_state = source.state_dict()
+        dst_state = target.state_dict()
+        assert set(src_state) == set(dst_state)
+        for k in src_state:
+            assert np.array_equal(src_state[k], dst_state[k])
+
+    def test_generalization_run_end_to_end(self, quick_cfg):
+        train = build_vgg16(scale=0.25, batch_size=4)
+        test = build_transformer(scale=0.3, batch_size=4)
+        gen = generalization_run(
+            train,
+            test,
+            cluster=ClusterSpec.default(),
+            config=quick_cfg,
+            finetune_samples=20,
+            train_patience=30,
+        )
+        assert gen.train_workload == train.name
+        assert gen.test_workload == test.name
+        assert np.isfinite(gen.final_runtime)
+        assert gen.finetune_history.total_samples == 20

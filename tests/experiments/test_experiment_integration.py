@@ -1,0 +1,71 @@
+"""End-to-end integration of the table/figure pipelines on a mini workload.
+
+Uses a single tiny workload spec so each experiment's full code path
+(run -> cache -> render) executes in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile
+from repro.experiments import ExperimentContext, WorkloadSpec
+from repro.experiments import fig7, fig8, table1, table2
+
+
+@pytest.fixture(scope="module")
+def mini_ctx(tmp_path_factory):
+    spec = WorkloadSpec(
+        key="mini",
+        title="Mini",
+        workload="vgg16",
+        workload_kwargs={"scale": 0.25, "batch_size": 4},
+        iterations=2,
+        patience_samples=None,
+    )
+    return ExperimentContext(
+        config=fast_profile(seed=0),
+        cache_dir=str(tmp_path_factory.mktemp("cache")),
+        specs={"mini": spec},
+    )
+
+
+class TestTable1Pipeline:
+    def test_run_and_render(self, mini_ctx):
+        results = table1.run_table1(mini_ctx, workloads=["mini"])
+        assert set(results["mini"]) == {t for _, t in table1.PLACER_KINDS}
+        assert all(np.isfinite(v) for v in results["mini"].values())
+
+
+class TestTable2Pipeline:
+    def test_run_includes_baselines_and_agents(self, mini_ctx):
+        results = table2.run_table2(mini_ctx, workloads=["mini"])
+        row = results["mini"]
+        assert "Human Experts" in row and "Mars" in row
+        assert np.isfinite(row["Mars"])
+
+    def test_multi_seed_averaging(self, mini_ctx):
+        single = table2.run_table2(mini_ctx, workloads=["mini"], seeds=[0])
+        double = table2.run_table2(mini_ctx, workloads=["mini"], seeds=[0, 1])
+        # Different seed sets generally give different averages, and both
+        # must be finite.
+        assert np.isfinite(double["mini"]["Mars"])
+        assert np.isfinite(single["mini"]["Mars"])
+
+
+class TestFig7Pipeline:
+    def test_curves_produced_for_all_agents(self, mini_ctx):
+        curves = fig7.run_fig7(mini_ctx, workloads=["mini"])
+        assert set(curves["mini"]) == {t for _, t in fig7.FIG7_AGENTS}
+        for xs, ys in curves["mini"].values():
+            assert len(xs) == len(ys) > 0
+            assert all(y <= fig7.MAX_PLOTTED_RUNTIME for y in ys)
+
+
+class TestFig8Pipeline:
+    def test_hours_positive_and_pretrain_costed(self, mini_ctx):
+        hours = fig8.run_fig8(mini_ctx, workloads=["mini"])
+        row = hours["mini"]
+        assert all(h > 0 for h in row.values())
+        # The cached Mars run must carry a pre-training clock component.
+        summary = mini_ctx.run("mini", "mars", seed=0)
+        assert summary.pretrain_clock > 0

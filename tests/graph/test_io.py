@@ -1,0 +1,90 @@
+"""Tests for graph (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CompGraph, graph_from_dict, graph_to_dict, load_graph, save_graph
+from tests.helpers import tiny_graph
+
+
+class TestGraphIO:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        g = tiny_graph()
+        path = str(tmp_path / "graph.json")
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.name == g.name
+        assert loaded.num_nodes == g.num_nodes
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_roundtrip_preserves_attributes(self):
+        g = tiny_graph()
+        loaded = graph_from_dict(graph_to_dict(g))
+        for a, b in zip(g.nodes, loaded.nodes):
+            assert a.name == b.name
+            assert a.op_type == b.op_type
+            assert a.output_shape == b.output_shape
+            assert a.flops == b.flops
+            assert a.cpu_only == b.cpu_only
+            assert a.colocation_group == b.colocation_group
+
+    def test_load_from_dict_directly(self):
+        doc = {
+            "name": "mini",
+            "nodes": [
+                {"name": "a", "op_type": "Input"},
+                {"name": "b", "op_type": "ReLU"},
+            ],
+            "edges": [["a", "b"]],
+        }
+        g = load_graph(doc)
+        assert g.num_nodes == 2 and g.num_edges == 1
+
+    def test_invalid_graph_rejected_on_load(self):
+        doc = {
+            "name": "cyclic",
+            "nodes": [
+                {"name": "a", "op_type": "Input"},
+                {"name": "b", "op_type": "ReLU"},
+            ],
+            "edges": [["a", "b"], ["b", "a"]],
+        }
+        with pytest.raises(ValueError):
+            load_graph(doc)
+
+    def test_workload_roundtrip_identical_features(self, tmp_path):
+        from repro.graph import FeatureExtractor
+        from repro.workloads import build_vgg16
+
+        g = build_vgg16(scale=0.25)
+        loaded = graph_from_dict(graph_to_dict(g))
+        fx = FeatureExtractor()
+        assert np.allclose(fx(g), fx(loaded))
+
+
+class TestChromeTrace:
+    def test_trace_document(self, tmp_path):
+        import json
+
+        from repro.analysis import placement_to_chrome_trace
+        from repro.sim import ClusterSpec, Placement
+
+        g = tiny_graph()
+        c = ClusterSpec.default()
+        p = Placement([0, 0, 1, 1, 0, 4], g, c)
+        path = str(tmp_path / "trace.json")
+        doc = placement_to_chrome_trace(p, path=path)
+        op_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(op_events) == g.num_nodes
+        assert all(e["dur"] > 0 for e in op_events)
+        assert json.load(open(path)) == doc
+
+    def test_trace_process_names(self):
+        from repro.analysis import placement_to_chrome_trace
+        from repro.sim import ClusterSpec, Placement
+
+        g = tiny_graph()
+        c = ClusterSpec.default()
+        doc = placement_to_chrome_trace(Placement([0] * 6, g, c))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {d.name for d in c.devices}

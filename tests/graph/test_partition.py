@@ -1,0 +1,55 @@
+"""Tests for grouping utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph import group_contiguous, topological_groups
+from repro.graph.partition import group_feature_means
+from tests.helpers import tiny_graph
+
+
+class TestGroupContiguous:
+    def test_even_split(self):
+        groups = group_contiguous(8, 4)
+        assert np.array_equal(np.bincount(groups), [2, 2, 2, 2])
+
+    def test_uneven_split_near_equal(self):
+        groups = group_contiguous(10, 3)
+        counts = np.bincount(groups)
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+    def test_more_groups_than_items(self):
+        groups = group_contiguous(2, 10)
+        assert set(groups) <= {0, 1}
+
+    def test_monotone_nondecreasing(self):
+        groups = group_contiguous(17, 5)
+        assert np.all(np.diff(groups) >= 0)
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            group_contiguous(5, 0)
+
+
+class TestTopologicalGroups:
+    def test_respects_topology(self):
+        g = tiny_graph()
+        groups = topological_groups(g, 3)
+        order = g.topological_order()
+        positions = [groups[op] for op in order]
+        assert np.all(np.diff(positions) >= 0)
+
+    def test_group_count(self):
+        groups = topological_groups(tiny_graph(), 2)
+        assert set(groups) == {0, 1}
+
+
+class TestGroupFeatureMeans:
+    def test_mean_computation(self):
+        feats = np.array([[1.0, 0.0], [3.0, 0.0], [0.0, 8.0]])
+        groups = np.array([0, 0, 1])
+        out = group_feature_means(feats, groups, 3)
+        assert np.allclose(out[0], [2.0, 0.0])
+        assert np.allclose(out[1], [0.0, 8.0])
+        assert np.allclose(out[2], 0.0)  # empty group

@@ -1,0 +1,50 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_gradient(f, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x0``."""
+    grad = np.zeros_like(x0, dtype=float)
+    flat_x = x0.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        xp = flat_x.copy()
+        xm = flat_x.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        fp = float(f(Tensor(xp.reshape(x0.shape))).data)
+        fm = float(f(Tensor(xm.reshape(x0.shape))).data)
+        flat_g[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_gradient(f, x0: np.ndarray, tol: float = 1e-5) -> float:
+    """Assert autodiff and numerical gradients agree; returns max error."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = f(x)
+    assert out.size == 1, "gradcheck target must be scalar"
+    out.backward()
+    assert x.grad is not None, "no gradient reached the input"
+    num = numerical_gradient(f, x0)
+    err = float(np.abs(num - x.grad).max())
+    assert err < tol, f"gradient mismatch: max err {err}"
+    return err
+
+
+def tiny_graph():
+    """A 6-op diamond DAG used across unit tests."""
+    from repro.graph import CompGraph, OpNode
+
+    g = CompGraph("tiny")
+    g.add_node(OpNode("in", "Input", (4, 8), cpu_only=True))
+    g.add_node(OpNode("a", "MatMul", (4, 16), flops=1e6, param_bytes=512), inputs=["in"])
+    g.add_node(OpNode("b", "ReLU", (4, 16), flops=64), inputs=["a"])
+    g.add_node(OpNode("c", "MatMul", (4, 16), flops=1e6, param_bytes=1024), inputs=["a"])
+    g.add_node(OpNode("d", "Concat", (4, 32)), inputs=["b", "c"])
+    g.add_node(OpNode("loss", "CrossEntropy", (1,), flops=128), inputs=["d"])
+    return g

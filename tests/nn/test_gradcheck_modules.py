@@ -1,0 +1,203 @@
+"""Numerical gradient checks for every composite module.
+
+Each check compares the autodiff gradient of a scalar loss w.r.t. the
+module *input* and w.r.t. one representative *parameter* against central
+differences — the strongest single guarantee that forward and backward
+implementations agree.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gnn.gcn import GCNLayer
+from repro.gnn.sage import SAGELayer, row_normalized_adjacency
+from repro.nn import (
+    BahdanauAttention,
+    BiLSTM,
+    LSTM,
+    LSTMCell,
+    LayerNorm,
+    Linear,
+    MLP,
+    PReLU,
+    Tensor,
+    TransformerXLLayer,
+)
+from tests.helpers import check_gradient, numerical_gradient
+
+rng = np.random.default_rng(99)
+
+
+def check_param_gradient(module, param, loss_fn, tol=1e-4):
+    """Numerical-vs-autodiff gradient of ``loss_fn()`` w.r.t. ``param``."""
+    module.zero_grad()
+    loss_fn().backward()
+    auto = param.grad.copy()
+
+    base = param.data.copy()
+    num = np.zeros_like(base)
+    eps = 1e-6
+    flat_base = base.reshape(-1)
+    flat_num = num.reshape(-1)
+    for i in range(flat_base.size):
+        for sign, store in ((+1, "p"), (-1, "m")):
+            flat = base.copy().reshape(-1)
+            flat[i] += sign * eps
+            param.data = flat.reshape(base.shape)
+            val = float(loss_fn().data)
+            if store == "p":
+                fp = val
+            else:
+                fm = val
+        flat_num[i] = (fp - fm) / (2 * eps)
+    param.data = base
+    err = np.abs(num - auto).max()
+    assert err < tol, f"parameter gradient mismatch: {err}"
+
+
+class TestLinearFamily:
+    def test_linear_input_grad(self):
+        lin = Linear(4, 3, rng=0)
+        check_gradient(lambda x: (lin(x) ** 2).sum(), rng.standard_normal((2, 4)))
+
+    def test_linear_weight_grad(self):
+        lin = Linear(3, 2, rng=1)
+        x = Tensor(rng.standard_normal((4, 3)))
+        check_param_gradient(lin, lin.weight, lambda: (lin(x) ** 2).sum())
+
+    def test_mlp_weight_grad(self):
+        mlp = MLP([3, 4, 1], activation="tanh", rng=2)
+        x = Tensor(rng.standard_normal((2, 3)))
+        check_param_gradient(mlp, mlp.layers[0].bias, lambda: (mlp(x) ** 2).sum())
+
+    def test_prelu_slope_grad(self):
+        act = PReLU()
+        x = Tensor(rng.standard_normal((6,)) - 0.5)
+        check_param_gradient(act, act.slope, lambda: (act(x) ** 2).sum())
+
+    def test_layernorm_gamma_grad(self):
+        ln = LayerNorm(5)
+        x = Tensor(rng.standard_normal((3, 5)))
+        check_param_gradient(ln, ln.gamma, lambda: (ln(x) ** 2).sum())
+
+
+class TestRecurrent:
+    def test_lstm_cell_weight_grad(self):
+        cell = LSTMCell(2, 3, rng=3)
+        x = Tensor(rng.standard_normal((2, 2)))
+
+        def loss():
+            h, c = cell(x)
+            return (h * h + c * c).sum()
+
+        check_param_gradient(cell, cell.bias, loss)
+
+    def test_lstm_input_grad(self):
+        lstm = LSTM(2, 3, rng=4)
+
+        def f(x):
+            out, _ = lstm(x)
+            return (out * out).sum()
+
+        check_gradient(f, rng.standard_normal((4, 1, 2)), tol=1e-4)
+
+    def test_lstm_recurrent_weight_grad(self):
+        lstm = LSTM(2, 2, rng=5)
+        x = Tensor(rng.standard_normal((3, 1, 2)))
+
+        def loss():
+            out, _ = lstm(x)
+            return (out * out).sum()
+
+        check_param_gradient(lstm, lstm.cell.w_hh, loss)
+
+    def test_bilstm_input_grad(self):
+        bi = BiLSTM(2, 4, rng=6)
+
+        def f(x):
+            out, _ = bi(x)
+            return (out * out).sum()
+
+        check_gradient(f, rng.standard_normal((3, 1, 2)), tol=1e-4)
+
+
+class TestAttention:
+    def test_attention_memory_grad(self):
+        att = BahdanauAttention(3, 2, 4, rng=7)
+        q = Tensor(rng.standard_normal((1, 2)))
+        check_gradient(lambda m: (att(m, q) ** 2).sum(), rng.standard_normal((4, 1, 3)), tol=1e-4)
+
+    def test_attention_query_grad(self):
+        att = BahdanauAttention(3, 2, 4, rng=8)
+        mem = Tensor(rng.standard_normal((4, 1, 3)))
+        check_gradient(lambda q: (att(mem, q) ** 2).sum(), rng.standard_normal((1, 2)), tol=1e-4)
+
+    def test_attention_v_param_grad(self):
+        att = BahdanauAttention(3, 2, 4, rng=9)
+        mem = Tensor(rng.standard_normal((4, 1, 3)))
+        q = Tensor(rng.standard_normal((1, 2)))
+        check_param_gradient(att, att.v, lambda: (att(mem, q) ** 2).sum())
+
+
+class TestGraphEncoders:
+    def _adj(self, n=5):
+        a = sp.random(n, n, density=0.5, random_state=0, format="csr")
+        a.data[:] = 1.0
+        return a
+
+    def test_gcn_layer_input_grad(self):
+        layer = GCNLayer(3, 4, rng=10)
+        adj = self._adj()
+        check_gradient(lambda x: (layer(x, adj) ** 2).sum(), rng.standard_normal((5, 3)), tol=1e-4)
+
+    def test_gcn_layer_weight_grad(self):
+        layer = GCNLayer(3, 2, rng=11)
+        adj = self._adj()
+        x = Tensor(rng.standard_normal((5, 3)))
+        check_param_gradient(layer, layer.linear.weight, lambda: (layer(x, adj) ** 2).sum())
+
+    def test_sage_layer_input_grad(self):
+        layer = SAGELayer(3, 4, rng=12)
+        adj = row_normalized_adjacency(self._adj())
+        check_gradient(
+            lambda x: (layer(x, adj) ** 2).sum(), rng.standard_normal((5, 3)) + 0.3, tol=1e-4
+        )
+
+
+class TestTransformer:
+    def test_txl_layer_input_grad(self):
+        layer = TransformerXLLayer(4, 2, 8, rng=13)
+        check_gradient(
+            lambda x: (layer(x) ** 2).sum(), rng.standard_normal((3, 1, 4)), tol=1e-3
+        )
+
+    def test_txl_layer_rel_bias_grad(self):
+        layer = TransformerXLLayer(4, 2, 8, rng=14)
+        x = Tensor(rng.standard_normal((3, 1, 4)))
+        check_param_gradient(
+            layer, layer.attn.rel_bias, lambda: (layer(x) ** 2).sum(), tol=1e-3
+        )
+
+    def test_txl_layer_with_memory_grad(self):
+        layer = TransformerXLLayer(4, 2, 8, rng=15)
+        memory = rng.standard_normal((2, 1, 4))
+        check_gradient(
+            lambda x: (layer(x, memory) ** 2).sum(),
+            rng.standard_normal((3, 1, 4)),
+            tol=1e-3,
+        )
+
+
+class TestPlacerLogProb:
+    def test_segment_placer_logp_grad_wrt_reps(self):
+        from repro.placers import SegmentSeq2SeqPlacer
+
+        placer = SegmentSeq2SeqPlacer(3, 3, hidden_size=4, segment_size=2, action_embed_dim=2, rng=16)
+        actions = np.array([[0, 2, 1, 0, 1]])
+
+        def f(reps):
+            out = placer.run(reps, actions=actions)
+            return out.log_probs.sum()
+
+        check_gradient(f, rng.standard_normal((5, 3)), tol=1e-4)

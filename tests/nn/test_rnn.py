@@ -1,0 +1,122 @@
+"""Tests for LSTM / BiLSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BiLSTM, LSTM, LSTMCell, Tensor
+from tests.helpers import check_gradient
+
+rng = np.random.default_rng(5)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(4, 6, rng=0)
+        h, c = cell(Tensor(rng.standard_normal((3, 4))))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(4, 6, rng=0)
+        assert np.allclose(cell.bias.data[6:12], 1.0)
+        assert np.allclose(cell.bias.data[:6], 0.0)
+
+    def test_step_matches_forward(self):
+        cell = LSTMCell(4, 6, rng=0)
+        x = Tensor(rng.standard_normal((2, 4)))
+        state = cell.init_state(2)
+        h1, c1 = cell(x, state)
+        h2, c2 = cell.step(x @ cell.w_ih + cell.bias, state)
+        assert np.allclose(h1.data, h2.data) and np.allclose(c1.data, c2.data)
+
+    def test_gradcheck_through_cell(self):
+        cell = LSTMCell(3, 4, rng=1)
+
+        def f(x):
+            h, c = cell(x)
+            return (h * h + c).sum()
+
+        check_gradient(f, rng.standard_normal((2, 3)))
+
+    def test_state_broadcasting_batch1_input(self):
+        """Input batch 1 with state batch B broadcasts — used by placers."""
+        cell = LSTMCell(3, 4, rng=1)
+        x = Tensor(rng.standard_normal((1, 3)))
+        state = (Tensor(rng.standard_normal((5, 4))), Tensor(np.zeros((5, 4))))
+        h, c = cell(x, state)
+        assert h.shape == (5, 4)
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = LSTM(4, 6, rng=0)
+        out, (h, c) = lstm(Tensor(rng.standard_normal((7, 2, 4))))
+        assert out.shape == (7, 2, 6)
+        assert h.shape == (2, 6)
+
+    def test_final_state_is_last_output(self):
+        lstm = LSTM(4, 6, rng=0)
+        out, (h, _) = lstm(Tensor(rng.standard_normal((5, 2, 4))))
+        assert np.allclose(out.data[-1], h.data)
+
+    def test_state_carrying_equals_contiguous_run(self):
+        lstm = LSTM(3, 5, rng=2)
+        x = Tensor(rng.standard_normal((8, 2, 3)))
+        full, _ = lstm(x)
+        first, state = lstm(x[:4])
+        second, _ = lstm(x[np.arange(4, 8)], state)
+        assert np.allclose(full.data[4:], second.data, atol=1e-12)
+
+    def test_gradient_flows_to_input(self):
+        lstm = LSTM(3, 4, rng=3)
+        x = Tensor(rng.standard_normal((6, 2, 3)), requires_grad=True)
+        out, _ = lstm(x)
+        (out * out).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+    def test_gradcheck_small(self):
+        lstm = LSTM(2, 3, rng=4)
+
+        def f(x):
+            out, _ = lstm(x)
+            return (out * out).sum()
+
+        check_gradient(f, rng.standard_normal((3, 1, 2)), tol=1e-4)
+
+
+class TestBiLSTM:
+    def test_hidden_size_must_be_even(self):
+        with pytest.raises(ValueError):
+            BiLSTM(4, 5)
+
+    def test_output_shape_concats_directions(self):
+        bi = BiLSTM(4, 8, rng=0)
+        out, (fwd, bwd) = bi(Tensor(rng.standard_normal((6, 3, 4))))
+        assert out.shape == (6, 3, 8)
+        assert fwd[0].shape == (3, 4) and bwd[0].shape == (3, 4)
+
+    def test_backward_direction_sees_future(self):
+        """Changing the last input changes the first output's bwd half."""
+        bi = BiLSTM(2, 4, rng=1)
+        x = rng.standard_normal((5, 1, 2))
+        out1, _ = bi(Tensor(x))
+        x2 = x.copy()
+        x2[-1] += 10.0
+        out2, _ = bi(Tensor(x2))
+        fwd_half = slice(0, 2)
+        bwd_half = slice(2, 4)
+        assert np.allclose(out1.data[0, 0, fwd_half], out2.data[0, 0, fwd_half])
+        assert not np.allclose(out1.data[0, 0, bwd_half], out2.data[0, 0, bwd_half])
+
+    def test_merge_state_width(self):
+        bi = BiLSTM(3, 6, rng=2)
+        _, states = bi(Tensor(rng.standard_normal((4, 2, 3))))
+        h, c = BiLSTM.merge_state(states)
+        assert h.shape == (2, 6) and c.shape == (2, 6)
+
+    def test_forward_state_carry_across_segments(self):
+        bi = BiLSTM(3, 6, rng=3)
+        x = Tensor(rng.standard_normal((6, 1, 3)))
+        _, (fwd_full, _) = bi(x)
+        _, (fwd_a, _) = bi(x[:3], (None, None))
+        _, (fwd_b, _) = bi(x[np.arange(3, 6)], (fwd_a, None))
+        assert np.allclose(fwd_full[0].data, fwd_b[0].data, atol=1e-12)

@@ -1,0 +1,77 @@
+"""Additional edge-case coverage for the tensor core."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from tests.helpers import check_gradient
+
+rng = np.random.default_rng(123)
+
+
+class TestShapeEdges:
+    def test_reshape_minus_one(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.reshape(2, -1).shape == (2, 12)
+
+    def test_reshape_tuple_argument(self):
+        x = Tensor(np.zeros(6))
+        assert x.reshape((2, 3)).shape == (2, 3)
+
+    def test_sum_multiple_axes(self):
+        check_gradient(
+            lambda x: (x.sum(axis=(0, 2)) ** 2).sum(), rng.standard_normal((2, 3, 4))
+        )
+
+    def test_sum_negative_axis(self):
+        check_gradient(
+            lambda x: (x.sum(axis=-1) ** 2).sum(), rng.standard_normal((3, 4))
+        )
+
+    def test_max_keepdims_gradient(self):
+        x0 = rng.standard_normal((3, 4))
+        check_gradient(lambda x: (x.max(axis=1, keepdims=True) * x).sum(), x0)
+
+    def test_mean_multiple_axes_value(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        assert np.allclose(x.mean(axis=(0, 2)).data, x.data.mean(axis=(0, 2)))
+
+    def test_transpose_reverses_by_default(self):
+        assert Tensor(np.zeros((2, 3, 4))).T.shape == (4, 3, 2)
+
+
+class TestNumericalEdges:
+    def test_zero_size_leading_ops(self):
+        x = Tensor(np.zeros((0, 3)), requires_grad=True)
+        y = (x * 2.0).sum()
+        y.backward()
+        assert x.grad.shape == (0, 3)
+
+    def test_scalar_tensor_arithmetic(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a * a).backward()
+        assert a.grad == pytest.approx(12.0)
+
+    def test_grad_not_tracked_on_constants(self):
+        a = Tensor(np.ones(3))
+        b = a * 2 + 1
+        assert not b.requires_grad and b._parents == ()
+
+    def test_inplace_data_mutation_visible(self):
+        """Optimizers mutate .data in place; results must reflect it."""
+        a = Tensor(np.ones(2), requires_grad=True)
+        a.data -= 0.5
+        assert np.allclose((a * 2).data, 1.0)
+
+    def test_backward_twice_accumulates(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        (a * 3).sum().backward()
+        (a * 3).sum().backward()
+        assert np.allclose(a.grad, 6.0)
+
+    def test_clip_full_passthrough_inside_range(self):
+        x0 = rng.standard_normal((5,)) * 0.1
+        check_gradient(lambda x: x.clip(-1, 1).sum(), x0)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4

@@ -1,0 +1,71 @@
+"""Property-based contract tests for placers over random inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.placers import MLPPlacer, SegmentSeq2SeqPlacer, TransformerXLPlacer
+
+
+def _make_placer(kind: str, in_dim: int, n_dev: int):
+    if kind == "segment":
+        return SegmentSeq2SeqPlacer(
+            in_dim, n_dev, hidden_size=8, segment_size=4, action_embed_dim=4, rng=0
+        )
+    if kind == "txl":
+        return TransformerXLPlacer(
+            in_dim, n_dev, model_dim=8, n_layers=1, n_heads=2, segment_size=4, rng=0
+        )
+    return MLPPlacer(in_dim, n_dev, hidden_size=8, rng=0)
+
+
+@st.composite
+def placer_case(draw):
+    kind = draw(st.sampled_from(["segment", "txl", "mlp"]))
+    n_ops = draw(st.integers(1, 12))
+    n_dev = draw(st.integers(2, 5))
+    batch = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10))
+    return kind, n_ops, n_dev, batch, seed
+
+
+@given(placer_case())
+@settings(max_examples=25, deadline=None)
+def test_sample_contract(case):
+    kind, n_ops, n_dev, batch, seed = case
+    placer = _make_placer(kind, 6, n_dev)
+    reps = Tensor(np.random.default_rng(seed).standard_normal((n_ops, 6)))
+    out = placer.run(reps, n_samples=batch, rng=np.random.default_rng(seed))
+    assert out.actions.shape == (batch, n_ops)
+    assert out.actions.min() >= 0 and out.actions.max() < n_dev
+    assert np.all(out.log_probs.data <= 1e-12)
+    assert np.all(out.entropy.data >= -1e-9)
+    assert np.all(out.entropy.data <= np.log(n_dev) + 1e-9)
+
+
+@given(placer_case())
+@settings(max_examples=25, deadline=None)
+def test_teacher_forcing_consistency(case):
+    kind, n_ops, n_dev, batch, seed = case
+    placer = _make_placer(kind, 6, n_dev)
+    reps = Tensor(np.random.default_rng(seed).standard_normal((n_ops, 6)))
+    out = placer.run(reps, n_samples=batch, rng=np.random.default_rng(seed))
+    rescored = placer.run(reps, actions=out.actions)
+    assert np.allclose(out.log_probs.data, rescored.log_probs.data, atol=1e-10)
+
+
+@given(placer_case())
+@settings(max_examples=15, deadline=None)
+def test_logp_sums_to_valid_probability(case):
+    """Sum over all devices of exp(logp) for any single op is 1."""
+    kind, n_ops, n_dev, _, seed = case
+    placer = _make_placer(kind, 6, n_dev)
+    reps = Tensor(np.random.default_rng(seed).standard_normal((n_ops, 6)))
+    total = 0.0
+    for device in range(n_dev):
+        actions = np.full((1, n_ops), device, dtype=np.int64)
+        out = placer.run(reps, actions=actions)
+        total += np.exp(out.log_probs.data[0, 0])
+    assert total == pytest.approx(1.0, abs=1e-9)

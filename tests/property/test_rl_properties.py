@@ -1,0 +1,78 @@
+"""Property-based tests for reward shaping and PPO algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, minimum
+from repro.rl.reward import RewardConfig, RewardTracker, transform_runtime
+
+runtimes = st.lists(
+    st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(runtimes)
+@settings(max_examples=60, deadline=None)
+def test_rewards_negative_and_ordered(rs):
+    tracker = RewardTracker()
+    rewards, _ = tracker.compute(rs)
+    assert np.all(rewards < 0)
+    # Faster runtime -> strictly larger reward.
+    order = np.argsort(rs)
+    assert np.all(np.diff(rewards[order]) <= 1e-12)
+
+
+@given(runtimes)
+@settings(max_examples=60, deadline=None)
+def test_baseline_within_reward_hull(rs):
+    """The EMA baseline stays within [min(R), max(R)] of all seen rewards."""
+    tracker = RewardTracker()
+    rewards, _ = tracker.compute(rs)
+    assert rewards.min() - 1e-12 <= tracker.baseline <= rewards.max() + 1e-12
+
+
+@given(runtimes)
+@settings(max_examples=60, deadline=None)
+def test_constant_runtimes_zero_advantage(rs):
+    tracker = RewardTracker()
+    _, adv = tracker.compute([rs[0]] * len(rs))
+    assert np.allclose(adv, 0.0, atol=1e-12)
+
+
+@given(runtimes)
+@settings(max_examples=60, deadline=None)
+def test_normalized_advantages_standardized(rs):
+    if len(rs) < 2 or np.std([transform_runtime(r) for r in rs]) < 1e-8:
+        return
+    tracker = RewardTracker(RewardConfig(advantage_normalization=True))
+    _, adv = tracker.compute(rs)
+    assert adv.mean() == pytest.approx(0.0, abs=1e-9)
+    assert adv.std() == pytest.approx(1.0, abs=1e-6)
+
+
+@given(
+    st.lists(st.floats(-3, 3), min_size=1, max_size=20),
+    st.lists(st.floats(-2, 2), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_ppo_clipped_surrogate_never_exceeds_unclipped_positive(logr, advs):
+    """For positive advantages the clipped objective <= unclipped."""
+    k = min(len(logr), len(advs))
+    ratio = Tensor(np.array(logr[:k])).exp()
+    adv = np.abs(np.array(advs[:k]))
+    clipped = ratio.clip(0.8, 1.2)
+    surr = minimum(ratio * adv, clipped * adv)
+    assert np.all(surr.data <= (ratio.data * adv) + 1e-12)
+
+
+@given(st.lists(st.floats(-1, 1), min_size=2, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_ppo_ratio_one_at_sampling_policy(logps):
+    """Evaluating the sampling policy itself gives ratio exactly 1."""
+    lp = np.array(logps)
+    ratio = (Tensor(lp) - Tensor(lp.copy())).exp()
+    assert np.allclose(ratio.data, 1.0)

@@ -1,0 +1,112 @@
+"""Property-based tests for scheduler/memory/placement invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CompGraph, OpNode
+from repro.sim import ClusterSpec, MemoryModel, Placement, Scheduler
+from repro.sim.placement import resolve_placement
+
+CLUSTER = ClusterSpec.default()
+SCHED = Scheduler()
+
+
+@st.composite
+def random_dag(draw):
+    """A random DAG of 2..16 ops with random costs; edges go forward only."""
+    n = draw(st.integers(2, 16))
+    g = CompGraph("random")
+    for i in range(n):
+        g.add_node(
+            OpNode(
+                f"op{i}",
+                draw(st.sampled_from(["MatMul", "Conv2D", "ReLU", "Concat"])),
+                output_shape=(draw(st.integers(1, 64)), draw(st.integers(1, 64))),
+                flops=draw(st.floats(0, 1e9)),
+                param_bytes=draw(st.floats(0, 1e6)),
+                activation_bytes=draw(st.floats(0, 1e6)),
+            )
+        )
+    for v in range(1, n):
+        for u in range(v):
+            if draw(st.booleans()) and draw(st.integers(0, 2)) == 0:
+                g.add_edge(f"op{u}", f"op{v}")
+    return g
+
+
+@st.composite
+def dag_and_placement(draw):
+    g = draw(random_dag())
+    devices = draw(
+        st.lists(
+            st.integers(0, CLUSTER.num_devices - 1),
+            min_size=g.num_nodes,
+            max_size=g.num_nodes,
+        )
+    )
+    return g, np.array(devices)
+
+
+@given(dag_and_placement())
+@settings(max_examples=60, deadline=None)
+def test_makespan_lower_bounds(case):
+    g, devices = case
+    placement = Placement(devices, g, CLUSTER)
+    res = SCHED.run_step(placement)
+    # Makespan dominates the busiest device and the critical-path bound.
+    assert res.makespan >= res.device_busy.max() - 1e-12
+    assert res.makespan >= SCHED.lower_bound(g, CLUSTER) - 1e-9
+    assert np.all(res.finish_times > 0)
+
+
+@given(dag_and_placement())
+@settings(max_examples=60, deadline=None)
+def test_single_device_is_serial_sum(case):
+    g, _ = case
+    placement = Placement(np.zeros(g.num_nodes, dtype=int), g, CLUSTER)
+    res = SCHED.run_step(placement)
+    times = SCHED.cost_model.op_time_matrix(g, CLUSTER)
+    assert res.makespan == pytest.approx(times[:, 0].sum() + CLUSTER.step_overhead)
+    assert res.comm_bytes == 0.0
+
+
+@given(dag_and_placement())
+@settings(max_examples=60, deadline=None)
+def test_comm_bytes_bounded_by_cut(case):
+    g, devices = case
+    placement = Placement(devices, g, CLUSTER)
+    res = SCHED.run_step(placement)
+    cut_bytes = sum(
+        g.nodes[u].output_bytes for u, v in g.edges() if devices[u] != devices[v]
+    )
+    assert res.comm_bytes <= cut_bytes + 1e-9
+
+
+@given(dag_and_placement())
+@settings(max_examples=60, deadline=None)
+def test_memory_usage_conserved(case):
+    g, devices = case
+    placement = Placement(devices, g, CLUSTER)
+    mm = MemoryModel()
+    report = mm.check(placement)
+    assert report.usage.sum() == pytest.approx(mm.op_bytes_vector(g).sum())
+    assert np.all(report.usage >= 0)
+
+
+@given(dag_and_placement())
+@settings(max_examples=60, deadline=None)
+def test_resolution_idempotent(case):
+    g, devices = case
+    once = resolve_placement(devices, g, CLUSTER)
+    twice = resolve_placement(once.devices, g, CLUSTER)
+    assert once == twice
+
+
+@given(dag_and_placement())
+@settings(max_examples=30, deadline=None)
+def test_scheduler_deterministic(case):
+    g, devices = case
+    placement = Placement(devices, g, CLUSTER)
+    assert SCHED.run_step(placement).makespan == SCHED.run_step(placement).makespan

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the autodiff core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, concat, maximum
+from repro.nn import functional as F
+
+floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=64)
+
+
+def arrays(shape_max=4):
+    return hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=shape_max),
+        elements=floats,
+    )
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_add_commutes(x):
+    a, b = Tensor(x), Tensor(x * 0.5 + 1.0)
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_mul_grad_is_other_operand(x):
+    a = Tensor(x, requires_grad=True)
+    b = Tensor(x * 2.0 + 1.0)
+    (a * b).sum().backward()
+    assert np.allclose(a.grad, b.data)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_sum_grad_is_ones(x):
+    a = Tensor(x, requires_grad=True)
+    a.sum().backward()
+    assert np.array_equal(a.grad, np.ones_like(x))
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_exp_log_roundtrip(x):
+    a = Tensor(np.abs(x) + 0.5)
+    assert np.allclose(a.log().exp().data, a.data, rtol=1e-10)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_tanh_bounded(x):
+    assert np.all(np.abs(Tensor(x).tanh().data) <= 1.0)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_sigmoid_complement(x):
+    a = Tensor(x)
+    assert np.allclose(a.sigmoid().data + (-a).sigmoid().data, 1.0, atol=1e-12)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_relu_idempotent(x):
+    a = Tensor(x)
+    once = a.relu().data
+    twice = a.relu().relu().data
+    assert np.array_equal(once, twice)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_maximum_ge_both(x):
+    a, b = Tensor(x), Tensor(-x)
+    m = maximum(a, b).data
+    assert np.all(m >= a.data) and np.all(m >= b.data)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_double_backward_chain_linearity(x):
+    """grad of (2x).sum() is exactly 2."""
+    a = Tensor(x, requires_grad=True)
+    (a * 2.0).sum().backward()
+    assert np.allclose(a.grad, 2.0)
+
+
+@given(hnp.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(2, 6)), elements=floats))
+@settings(max_examples=50, deadline=None)
+def test_softmax_is_distribution(x):
+    s = F.softmax(Tensor(x), axis=-1).data
+    assert np.all(s >= 0)
+    assert np.allclose(s.sum(axis=-1), 1.0)
+
+
+@given(hnp.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(2, 6)), elements=floats))
+@settings(max_examples=50, deadline=None)
+def test_log_softmax_le_zero(x):
+    lp = F.log_softmax(Tensor(x), axis=-1).data
+    assert np.all(lp <= 1e-12)
+
+
+@given(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=floats),
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=floats),
+)
+@settings(max_examples=50, deadline=None)
+def test_concat_shapes(a, b):
+    if a.shape[1] != b.shape[1]:
+        b = np.resize(b, (b.shape[0], a.shape[1]))
+    out = concat([Tensor(a), Tensor(b)], axis=0)
+    assert out.shape == (a.shape[0] + b.shape[0], a.shape[1])
+    assert np.array_equal(out.data[: a.shape[0]], a)

@@ -1,0 +1,52 @@
+"""Tests for the cross-entropy-method updater (Post-style extension)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.cem import CEMConfig, CEMUpdater
+from tests.rl.test_ppo import BanditAgent, make_batch
+
+
+class TestCEMConfig:
+    def test_elite_fraction_validated(self):
+        with pytest.raises(ValueError):
+            CEMConfig(elite_fraction=0.0)
+        with pytest.raises(ValueError):
+            CEMConfig(elite_fraction=1.5)
+
+
+class TestCEMUpdater:
+    def test_policy_concentrates_on_elite_action(self):
+        agent = BanditAgent(4)
+        updater = CEMUpdater(agent, CEMConfig(elite_fraction=0.25, learning_rate=0.1))
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            rollout, adv = make_batch(agent, rng, lambda a: 1.0 if a == 3 else 0.0)
+            updater.update(rollout, adv)
+        probs = np.exp(agent.logits.data - agent.logits.data.max())
+        probs /= probs.sum()
+        assert probs[3] > 0.8
+
+    def test_elite_count_at_least_one(self):
+        agent = BanditAgent(3)
+        updater = CEMUpdater(agent, CEMConfig(elite_fraction=0.01))
+        rollout, adv = make_batch(agent, np.random.default_rng(1), lambda a: float(a))
+        stats = updater.update(rollout, adv)
+        assert stats.passes == 1
+
+    def test_trainer_accepts_cem_algorithm(self):
+        from dataclasses import replace
+
+        from repro.config import fast_profile
+        from repro.core import build_mars_agent
+        from repro.rl import JointTrainer
+        from repro.sim import ClusterSpec, PlacementEnv
+        from repro.workloads import build_vgg16
+
+        graph = build_vgg16(scale=0.25, batch_size=4)
+        cluster = ClusterSpec.default()
+        cfg = fast_profile(seed=0, iterations=2)
+        tc = replace(cfg.trainer, algorithm="cem")
+        agent = build_mars_agent(graph, cluster, cfg)
+        history = JointTrainer(agent, PlacementEnv(graph, cluster), tc).train()
+        assert len(history.records) == 2

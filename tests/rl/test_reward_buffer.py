@@ -1,0 +1,127 @@
+"""Tests for reward shaping (Eq. 7) and the rollout buffer."""
+
+import numpy as np
+import pytest
+
+from repro.rl import RewardConfig, RewardTracker, RolloutBuffer
+from repro.rl.policy import AgentRollout
+from repro.rl.reward import transform_runtime
+
+
+class TestTransform:
+    def test_neg_sqrt(self):
+        assert transform_runtime(4.0) == -2.0
+
+    def test_neg(self):
+        assert transform_runtime(3.0, "neg") == -3.0
+
+    def test_neg_log(self):
+        assert transform_runtime(np.e, "neg_log") == pytest.approx(-1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            transform_runtime(0.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            transform_runtime(1.0, "huh")
+
+    def test_monotone_decreasing(self):
+        assert transform_runtime(1.0) > transform_runtime(2.0) > transform_runtime(4.0)
+
+
+class TestRewardTracker:
+    def test_first_baseline_equals_first_reward(self):
+        """Eq. 7: B_1 = R_1 (there is no B_0)."""
+        tracker = RewardTracker()
+        rewards, advantages = tracker.compute([4.0])
+        assert tracker.baseline == rewards[0]
+        assert advantages[0] == 0.0
+
+    def test_ema_update(self):
+        tracker = RewardTracker(RewardConfig(ema_mu=0.9))
+        tracker.compute([1.0])
+        b1 = tracker.baseline
+        tracker.compute([4.0])
+        expected = (1 - 0.9) * (-2.0) + 0.9 * b1
+        assert tracker.baseline == pytest.approx(expected)
+
+    def test_better_runtime_gets_positive_advantage(self):
+        tracker = RewardTracker()
+        tracker.compute([4.0] * 50)  # establish baseline around -2
+        _, adv = tracker.compute([1.0])  # R = -1 > baseline
+        assert adv[0] > 0
+
+    def test_worse_runtime_gets_negative_advantage(self):
+        tracker = RewardTracker()
+        tracker.compute([1.0] * 50)
+        _, adv = tracker.compute([9.0])
+        assert adv[0] < 0
+
+    def test_normalization_unit_scale(self):
+        tracker = RewardTracker(RewardConfig(advantage_normalization=True))
+        _, adv = tracker.compute([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert adv.std() == pytest.approx(1.0, abs=1e-9)
+        assert adv.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_baseline_persists_across_batches(self):
+        tracker = RewardTracker()
+        tracker.compute([1.0, 1.0])
+        before = tracker.baseline
+        tracker.compute([1.0])
+        assert tracker.baseline == pytest.approx(before, rel=0.1)
+
+
+def _rollout(batch, n_ops=4, k=4):
+    rng = np.random.default_rng(batch)
+    placements = rng.integers(0, 3, (batch, n_ops))
+    return AgentRollout(
+        placements=placements,
+        internal={"placement": placements},
+        old_logp=rng.standard_normal((batch, k)),
+    )
+
+
+class TestRolloutBuffer:
+    def test_capacity_trimming(self):
+        buf = RolloutBuffer(capacity=20)
+        for _ in range(5):
+            buf.add(_rollout(10), np.zeros(10))
+        assert buf.size == 20
+
+    def test_is_ready(self):
+        buf = RolloutBuffer(capacity=20)
+        buf.add(_rollout(10), np.zeros(10))
+        assert not buf.is_ready()
+        buf.add(_rollout(10), np.zeros(10))
+        assert buf.is_ready()
+
+    def test_merged_concatenates(self):
+        buf = RolloutBuffer(capacity=20)
+        buf.add(_rollout(4), np.ones(4))
+        buf.add(_rollout(6), 2 * np.ones(6))
+        rollout, adv = buf.merged()
+        assert rollout.batch_size == 10
+        assert adv.tolist() == [1.0] * 4 + [2.0] * 6
+
+    def test_merged_empty_raises(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer().merged()
+
+    def test_mismatched_advantages_rejected(self):
+        buf = RolloutBuffer()
+        with pytest.raises(ValueError):
+            buf.add(_rollout(4), np.zeros(3))
+
+    def test_clear(self):
+        buf = RolloutBuffer()
+        buf.add(_rollout(4), np.zeros(4))
+        buf.clear()
+        assert buf.size == 0
+
+    def test_subset_and_concat_roundtrip(self):
+        r = _rollout(6)
+        sub = r.subset(np.array([0, 2]))
+        assert sub.batch_size == 2
+        merged = AgentRollout.concatenate([sub, r.subset(np.array([1]))])
+        assert merged.batch_size == 3

@@ -1,0 +1,103 @@
+"""Edge-case tests for the training loop and environment determinism."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile
+from repro.core import build_mars_agent
+from repro.rl import JointTrainer
+from repro.sim import ClusterSpec, PlacementEnv
+from repro.workloads import build_vgg16
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = build_vgg16(scale=0.25, batch_size=4)
+    return graph, ClusterSpec.default()
+
+
+class TestTrainerEdges:
+    def test_no_update_before_min_samples(self, setting):
+        """With update_min_samples > total samples, parameters never move."""
+        graph, cluster = setting
+        cfg = fast_profile(seed=0, iterations=1)
+        tc = replace(cfg.trainer, update_min_samples=10_000)
+        agent = build_mars_agent(graph, cluster, cfg)
+        before = {k: v.copy() for k, v in agent.state_dict().items()}
+        JointTrainer(agent, PlacementEnv(graph, cluster), tc).train()
+        after = agent.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_update_changes_parameters(self, setting):
+        graph, cluster = setting
+        cfg = fast_profile(seed=0, iterations=2)  # 20 samples -> 1 update
+        agent = build_mars_agent(graph, cluster, cfg)
+        before = {k: v.copy() for k, v in agent.state_dict().items()}
+        JointTrainer(agent, PlacementEnv(graph, cluster), cfg.trainer).train()
+        after = agent.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+
+    def test_patience_ignores_subthreshold_trickle(self, setting):
+        """Improvements below patience_min_improvement do not reset patience."""
+        graph, cluster = setting
+        cfg = fast_profile(seed=0, iterations=50)
+        tc = replace(
+            cfg.trainer,
+            patience_samples=20,
+            patience_min_improvement=1.0,  # nothing can improve by 100%
+        )
+        agent = build_mars_agent(graph, cluster, cfg)
+        history = JointTrainer(agent, PlacementEnv(graph, cluster), tc).train()
+        # 20-sample patience with impossible improvement bar -> 2 iterations.
+        assert history.total_samples == 20
+
+    def test_history_continuation_accumulates(self, setting):
+        graph, cluster = setting
+        cfg = fast_profile(seed=0, iterations=2)
+        env = PlacementEnv(graph, cluster)
+        agent = build_mars_agent(graph, cluster, cfg)
+        trainer = JointTrainer(agent, env, cfg.trainer)
+        history = trainer.train()
+        first_clock = history.sim_clock
+        history = trainer.train(history)
+        assert history.total_samples == 40
+        assert history.sim_clock > first_clock
+
+
+class TestEnvDeterminism:
+    def test_fresh_envs_agree(self, setting):
+        graph, cluster = setting
+        actions = np.random.default_rng(0).integers(0, 5, graph.num_nodes)
+        a = PlacementEnv(graph, cluster).evaluate(actions)
+        b = PlacementEnv(graph, cluster).evaluate(actions)
+        assert a.per_step_time == b.per_step_time
+        assert a.wall_clock == b.wall_clock
+
+    def test_protocol_seed_changes_noise(self, setting):
+        from repro.sim import MeasurementProtocol
+
+        graph, cluster = setting
+        actions = np.zeros(graph.num_nodes, dtype=int)
+        a = PlacementEnv(graph, cluster, protocol=MeasurementProtocol(seed=1)).evaluate(actions)
+        b = PlacementEnv(graph, cluster, protocol=MeasurementProtocol(seed=2)).evaluate(actions)
+        assert a.per_step_time != b.per_step_time
+
+    def test_final_run_matches_repeat(self, setting):
+        graph, cluster = setting
+        actions = np.zeros(graph.num_nodes, dtype=int)
+        env = PlacementEnv(graph, cluster)
+        assert env.final_run(actions) == env.final_run(actions)
+
+
+class TestHumanExpertOnSeq2Seq:
+    def test_rnn_pattern_detected(self):
+        from repro.core import human_expert_placement
+        from repro.workloads import build_seq2seq
+
+        graph = build_seq2seq(scale=0.3, batch_size=8)
+        cluster = ClusterSpec.default()
+        p = human_expert_placement(graph, cluster)
+        assert p.device_of(graph.index_of("enc/l0/cell_t0")) == 0
+        assert p.device_of(graph.index_of("enc/l1/cell_t0")) == 1

@@ -1,0 +1,110 @@
+"""Tests for the measurement protocol and the placement environment."""
+
+import numpy as np
+import pytest
+
+from repro.sim import ClusterSpec, MeasurementProtocol, PlacementEnv
+from tests.helpers import tiny_graph
+
+
+class TestMeasurementProtocol:
+    def test_invalid_placement_penalty(self):
+        proto = MeasurementProtocol()
+        res = proto.measure(1.0, valid=False, placement_key=1)
+        assert not res.valid
+        assert res.per_step_time == proto.invalid_penalty
+        assert res.wall_clock == pytest.approx(proto.reinit_cost + proto.oom_detect_cost)
+
+    def test_valid_measurement_near_makespan(self):
+        proto = MeasurementProtocol(noise_std=0.01)
+        res = proto.measure(2.0, valid=True, placement_key=7)
+        assert res.valid and res.ok
+        assert res.per_step_time == pytest.approx(2.0, rel=0.05)
+        assert res.steps_run == proto.warmup_steps + proto.measure_steps
+
+    def test_determinism_per_placement(self):
+        proto = MeasurementProtocol()
+        a = proto.measure(1.5, True, placement_key=42)
+        b = proto.measure(1.5, True, placement_key=42)
+        assert a.per_step_time == b.per_step_time
+
+    def test_different_placements_get_different_noise(self):
+        proto = MeasurementProtocol(noise_std=0.05)
+        a = proto.measure(1.5, True, placement_key=1)
+        b = proto.measure(1.5, True, placement_key=2)
+        assert a.per_step_time != b.per_step_time
+
+    def test_warmup_steps_increase_wall_clock(self):
+        proto = MeasurementProtocol(warmup_slowdown=2.0, noise_std=0.0)
+        res = proto.measure(1.0, True, placement_key=3)
+        steady = proto.measure_steps * 1.0
+        assert res.wall_clock > proto.reinit_cost + steady + proto.warmup_steps
+
+    def test_cutoff_truncates_bad_placement(self):
+        proto = MeasurementProtocol(bad_step_threshold=5.0)
+        res = proto.measure(30.0, True, placement_key=4)
+        assert res.truncated and not res.ok
+        assert res.steps_run == 1  # first warm-up step already exceeds it
+        assert res.wall_clock < proto.reinit_cost + 2 * 30.0 * 2
+
+    def test_cutoff_not_triggered_for_good_placement(self):
+        proto = MeasurementProtocol(bad_step_threshold=5.0)
+        res = proto.measure(1.0, True, placement_key=5)
+        assert not res.truncated
+
+    def test_final_evaluation_close_to_makespan(self):
+        proto = MeasurementProtocol()
+        val = proto.final_evaluation(3.0, placement_key=6)
+        assert val == pytest.approx(3.0, rel=0.02)
+
+
+class TestPlacementEnv:
+    @pytest.fixture
+    def env(self):
+        return PlacementEnv(tiny_graph(), ClusterSpec.default())
+
+    def test_evaluate_returns_sensible_runtime(self, env):
+        res = env.evaluate(np.zeros(6, dtype=int))
+        assert res.valid
+        assert 0 < res.per_step_time < 1.0
+
+    def test_cache_hits_cost_only_reinit(self, env):
+        actions = np.zeros(6, dtype=int)
+        first = env.evaluate(actions)
+        wall_after_first = env.stats.wall_clock
+        second = env.evaluate(actions)
+        assert env.stats.cache_hits == 1
+        assert second.per_step_time == first.per_step_time
+        assert env.stats.wall_clock == pytest.approx(
+            wall_after_first + env.protocol.reinit_cost
+        )
+
+    def test_oom_counted_invalid(self):
+        g = tiny_graph()
+        g.nodes[1].param_bytes = 50 * 2**30
+        env = PlacementEnv(g, ClusterSpec.default())
+        res = env.evaluate(np.zeros(6, dtype=int))
+        assert not res.valid
+        assert env.stats.invalid == 1
+
+    def test_constraint_resolution_applied(self, env):
+        """cpu_only ops are placed on the CPU even if actions say otherwise."""
+        p = env.resolve(np.zeros(6, dtype=int))
+        assert p.device_of(0) == env.cluster.cpu_index
+
+    def test_final_run_nan_on_oom(self):
+        g = tiny_graph()
+        g.nodes[1].param_bytes = 50 * 2**30
+        env = PlacementEnv(g, ClusterSpec.default())
+        assert np.isnan(env.final_run(np.zeros(6, dtype=int)))
+
+    def test_makespan_deterministic(self, env):
+        p = env.resolve(np.array([0, 1, 2, 1, 0, 3]))
+        assert env.makespan(p) == env.makespan(p)
+
+    def test_stats_accumulate(self, env):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            env.evaluate(rng.integers(0, 5, 6))
+        assert env.stats.evaluations == 5
+        assert env.stats.wall_clock > 0

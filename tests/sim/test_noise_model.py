@@ -1,0 +1,63 @@
+"""Focused tests of the measurement noise and warm-up models."""
+
+import numpy as np
+import pytest
+
+from repro.sim import MeasurementProtocol
+
+
+class TestNoiseModel:
+    def test_zero_noise_reports_exact_makespan(self):
+        proto = MeasurementProtocol(noise_std=0.0)
+        res = proto.measure(2.5, valid=True, placement_key=0)
+        assert res.per_step_time == pytest.approx(2.5)
+
+    def test_noise_scale_matches_config(self):
+        """Across many placements the measured dispersion tracks noise_std."""
+        proto = MeasurementProtocol(noise_std=0.05)
+        samples = np.array(
+            [proto.measure(1.0, True, key).per_step_time for key in range(300)]
+        )
+        # The mean of 10 noisy steps has std ~ noise_std / sqrt(10).
+        assert samples.std() == pytest.approx(0.05 / np.sqrt(10), rel=0.3)
+        assert samples.mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_warmup_monotone_decay(self):
+        """Warm-up inflation shrinks step by step (deterministic check)."""
+        proto = MeasurementProtocol(noise_std=0.0, warmup_slowdown=2.0, warmup_steps=4)
+        # Reconstruct warm-up factors from the model definition.
+        factors = [
+            1.0 + (proto.warmup_slowdown - 1.0) * (1.0 - s / proto.warmup_steps)
+            for s in range(proto.warmup_steps)
+        ]
+        assert factors[0] == pytest.approx(2.0)
+        assert all(a > b for a, b in zip(factors, factors[1:]))
+
+    def test_wall_clock_exceeds_sum_of_steady_steps(self):
+        proto = MeasurementProtocol(noise_std=0.0)
+        res = proto.measure(1.0, True, placement_key=5)
+        steady = proto.measure_steps * 1.0
+        warm = proto.warmup_steps * 1.0
+        assert res.wall_clock > proto.reinit_cost + steady + warm
+
+    def test_cutoff_saves_wall_clock(self):
+        """Aborting a bad placement must cost less than measuring it fully."""
+        with_cutoff = MeasurementProtocol(bad_step_threshold=5.0)
+        without = MeasurementProtocol(bad_step_threshold=None)
+        bad = 25.0
+        aborted = with_cutoff.measure(bad, True, placement_key=9)
+        full = without.measure(bad, True, placement_key=9)
+        assert aborted.truncated and not full.truncated
+        assert aborted.wall_clock < full.wall_clock / 3
+
+    def test_invalid_cheaper_than_bad(self):
+        """OOM is detected quickly; a slow placement wastes more time."""
+        proto = MeasurementProtocol(bad_step_threshold=None)
+        oom = proto.measure(float("inf"), valid=False, placement_key=1)
+        slow = proto.measure(30.0, valid=True, placement_key=1)
+        assert oom.wall_clock < slow.wall_clock
+
+    def test_final_evaluation_long_run_tighter_than_short(self):
+        proto = MeasurementProtocol(noise_std=0.05)
+        vals = [proto.final_evaluation(2.0, key) for key in range(100)]
+        assert np.std(vals) < 0.05  # averaging many steps tightens the estimate

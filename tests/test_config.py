@@ -1,0 +1,49 @@
+"""Tests for configuration profiles."""
+
+from repro.config import fast_profile, paper_profile, with_seed
+
+
+class TestProfiles:
+    def test_paper_profile_matches_section_4_2(self):
+        cfg = paper_profile()
+        assert cfg.encoder.hidden_dim == 256
+        assert cfg.encoder.num_layers == 3
+        assert cfg.placer.hidden_size == 512
+        assert cfg.placer.segment_size == 128
+        assert cfg.pretrain.iterations == 1000
+        assert cfg.trainer.samples_per_policy == 10
+        assert cfg.trainer.update_min_samples == 20
+        assert cfg.trainer.ppo.clip_ratio == 0.2
+        assert cfg.trainer.ppo.entropy_coef == 1e-3
+        assert cfg.trainer.ppo.learning_rate == 3e-4
+        assert cfg.trainer.ppo.epochs == 3
+        assert cfg.trainer.ppo.minibatches == 4
+        assert cfg.trainer.ppo.grad_clip_norm == 1.0
+        assert cfg.trainer.reward.transform == "neg_sqrt"
+        assert cfg.trainer.reward.ema_mu == 0.99
+
+    def test_fast_profile_is_smaller(self):
+        fast, paper = fast_profile(), paper_profile()
+        assert fast.encoder.hidden_dim < paper.encoder.hidden_dim
+        assert fast.placer.hidden_size < paper.placer.hidden_size
+        assert fast.pretrain.iterations < paper.pretrain.iterations
+
+    def test_fast_profile_keeps_architecture(self):
+        fast = fast_profile()
+        assert fast.encoder.kind == "gcn"
+        assert fast.encoder.num_layers == 3
+        assert fast.placer.kind == "segment_seq2seq"
+
+    def test_with_seed(self):
+        cfg = with_seed(fast_profile(), 42)
+        assert cfg.seed == 42
+        assert cfg.trainer.seed == 42
+
+    def test_with_seed_copies(self):
+        base = fast_profile(seed=0)
+        cfg = with_seed(base, 42)
+        assert base.seed == 0
+        assert base.trainer.seed == 0
+
+    def test_fast_profile_iterations_param(self):
+        assert fast_profile(iterations=7).trainer.iterations == 7

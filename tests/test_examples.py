@@ -1,0 +1,51 @@
+"""Guard that every example script compiles and declares a main()."""
+
+import ast
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+class TestExamples:
+    def test_compiles(self, filename):
+        source = open(os.path.join(EXAMPLES_DIR, filename)).read()
+        compile(source, filename, "exec")
+
+    def test_has_main_guard(self, filename):
+        source = open(os.path.join(EXAMPLES_DIR, filename)).read()
+        tree = ast.parse(source)
+        funcs = [n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+        assert "main" in funcs
+        assert '__name__ == "__main__"' in source
+
+    def test_has_docstring(self, filename):
+        source = open(os.path.join(EXAMPLES_DIR, filename)).read()
+        module = ast.parse(source)
+        assert ast.get_docstring(module), f"{filename} needs a docstring"
+
+    def test_imports_resolve(self, filename):
+        """Every repro import in the example exists in the package."""
+        source = open(os.path.join(EXAMPLES_DIR, filename)).read()
+        tree = ast.parse(source)
+        import importlib
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                mod = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(mod, alias.name), f"{node.module}.{alias.name}"
+
+
+def test_expected_example_set():
+    assert {
+        "quickstart.py",
+        "place_bert.py",
+        "pretrain_and_transfer.py",
+        "custom_workload.py",
+        "compare_placers.py",
+        "analyze_and_deploy.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,57 @@
+"""Smoke tests that the full paper-scale configuration actually builds.
+
+The paper profile (GCN-256x3, LSTM-512, segment 128) is too slow for CI
+training runs on a CPU, but constructing the agents and pushing one batch
+through them must work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_profile
+from repro.core import (
+    build_encoder_placer_agent,
+    build_grouper_placer_agent,
+    build_mars_agent,
+)
+from repro.sim import ClusterSpec
+from repro.workloads import build_vgg16
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return build_vgg16(scale=0.25, batch_size=4), ClusterSpec.default(), paper_profile()
+
+
+class TestPaperProfile:
+    def test_mars_agent_paper_scale(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_mars_agent(graph, cluster, cfg)
+        assert agent.encoder.hidden_dim == 256
+        assert agent.placer.hidden_size == 512
+        assert agent.placer.segment_size == 128
+        rollout = agent.sample(2, np.random.default_rng(0))
+        assert rollout.placements.shape == (2, graph.num_nodes)
+        # Parameter count sanity: the paper-scale agent is in the millions.
+        assert agent.num_parameters() > 1_000_000
+
+    def test_encoder_placer_paper_scale(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_encoder_placer_agent(graph, cluster, cfg)
+        rollout = agent.sample(1, np.random.default_rng(1))
+        assert rollout.placements.shape == (1, graph.num_nodes)
+
+    def test_grouper_placer_paper_scale(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_grouper_placer_agent(graph, cluster, cfg)
+        rollout = agent.sample(1, np.random.default_rng(2))
+        assert rollout.placements.shape == (1, graph.num_nodes)
+
+    def test_paper_scale_ppo_pass(self, setting):
+        graph, cluster, cfg = setting
+        agent = build_mars_agent(graph, cluster, cfg)
+        rollout = agent.sample(2, np.random.default_rng(3))
+        logp, ent = agent.evaluate(rollout.internal)
+        loss = -(logp.mean()) - 1e-3 * ent.mean()
+        loss.backward()
+        assert all(p.grad is not None for p in agent.parameters())

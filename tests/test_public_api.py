@@ -1,0 +1,52 @@
+"""Guards on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.nn",
+            "repro.graph",
+            "repro.workloads",
+            "repro.sim",
+            "repro.gnn",
+            "repro.placers",
+            "repro.rl",
+            "repro.core",
+            "repro.analysis",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__") and mod.__all__
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_readme_quickstart_objects_exist(self):
+        """The symbols used in README's quickstart snippet must exist."""
+        from repro import ClusterSpec, build_gnmt, fast_profile, optimize_placement  # noqa: F401
+
+    def test_docstrings_on_public_symbols(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__"
+            and callable(getattr(repro, name))
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"

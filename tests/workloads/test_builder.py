@@ -1,0 +1,71 @@
+"""Tests for the GraphBuilder helper and cost formulas."""
+
+import pytest
+
+from repro.workloads.builder import (
+    GraphBuilder,
+    conv2d_flops,
+    elements,
+    lstm_cell_flops,
+    matmul_flops,
+    tensor_bytes,
+)
+
+
+class TestCostFormulas:
+    def test_elements(self):
+        assert elements((2, 3, 4)) == 24
+        assert elements(()) == 1
+
+    def test_tensor_bytes_float32(self):
+        assert tensor_bytes((10,)) == 40.0
+
+    def test_matmul_flops(self):
+        assert matmul_flops(2, 3, 4) == 48.0
+
+    def test_conv2d_flops_formula(self):
+        # B=1, 8x8 output, 3->16 channels, 3x3 kernel
+        assert conv2d_flops(1, 8, 8, 3, 16, 3) == 2 * 64 * 3 * 16 * 9
+
+    def test_lstm_cell_flops_dominated_by_gates(self):
+        val = lstm_cell_flops(4, 8, 8)
+        assert val > 2 * 4 * 16 * 32  # at least the fused matmul part
+
+
+class TestGraphBuilder:
+    def test_op_returns_name_for_chaining(self):
+        b = GraphBuilder("t")
+        x = b.op("a", "Input", shape=(2,))
+        y = b.op("b", "ReLU", inputs=[x], shape=(2,))
+        assert y == "b"
+        g = b.build()
+        assert g.num_edges == 1
+
+    def test_default_act_bytes_from_shape(self):
+        b = GraphBuilder("t")
+        b.op("a", "MatMul", shape=(4, 4))
+        assert b.graph.node("a").activation_bytes == 64.0
+
+    def test_explicit_act_bytes(self):
+        b = GraphBuilder("t")
+        b.op("a", "MatMul", shape=(4, 4), act_bytes=1000.0)
+        assert b.graph.node("a").activation_bytes == 1000.0
+
+    def test_conv_block_emits_three_ops(self):
+        b = GraphBuilder("t")
+        x = b.op("input", "Input", shape=(1, 8, 8, 3))
+        b.conv_block("c0", x, batch=1, out_hw=8, c_in=3, c_out=16, kernel=3)
+        g = b.build()
+        types = [n.op_type for n in g.nodes]
+        assert types == ["Input", "Conv2D", "BatchNorm", "ReLU"]
+
+    def test_conv_block_without_bn_relu(self):
+        b = GraphBuilder("t")
+        x = b.op("input", "Input", shape=(1, 8, 8, 3))
+        b.conv_block("c0", x, 1, 8, 3, 16, 3, with_bn_relu=False)
+        assert b.graph.num_nodes == 2
+
+    def test_build_validates(self):
+        b = GraphBuilder("t")
+        b.op("a", "Input", shape=(2,))
+        assert b.build().num_nodes == 1

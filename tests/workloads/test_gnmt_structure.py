@@ -1,0 +1,60 @@
+"""Structural pins for the GNMT graph (the most intricate generator)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import build_gnmt
+
+
+@pytest.fixture(scope="module")
+def gnmt():
+    return build_gnmt(scale=0.25)  # T = 10
+
+
+class TestGNMTStructure:
+    def test_recurrent_chain_within_layer(self, gnmt):
+        """Cell t depends on cell t-1 of the same layer."""
+        prev = gnmt.index_of("enc/l0/cell_t3")
+        cur = gnmt.index_of("enc/l0/cell_t4")
+        assert prev in gnmt.predecessors(cur)
+
+    def test_layer_stacking(self, gnmt):
+        below = gnmt.index_of("enc/l0/cell_t5")
+        above = gnmt.index_of("enc/l1/cell_t5")
+        assert below in gnmt.predecessors(above)
+
+    def test_residuals_from_layer_two(self, gnmt):
+        assert "enc/l2/residual_t0" in [n.name for n in gnmt.nodes]
+        assert "enc/l1/residual_t0" not in [n.name for n in gnmt.nodes]
+
+    def test_decoder_seeded_by_encoder_final_state(self, gnmt):
+        dec0 = gnmt.index_of("dec/l0/cell_t0")
+        pred_names = {gnmt.nodes[p].name for p in gnmt.predecessors(dec0)}
+        assert any(name.startswith("enc/l3/") for name in pred_names)
+
+    def test_attention_feeds_next_step_and_projection(self, gnmt):
+        attn = gnmt.index_of("dec/attn_t3")
+        succ_names = {gnmt.nodes[s].name for s in gnmt.successors(attn)}
+        assert "dec/l0/cell_t4" in succ_names
+        assert "proj/logits_t3" in succ_names
+
+    def test_projection_colocated(self, gnmt):
+        logits = [n for n in gnmt.nodes if n.name.startswith("proj/logits")]
+        assert len(logits) == 10
+        assert all(n.colocation_group == "softmax_w" for n in logits)
+
+    def test_shared_weights_counted_once_per_layer(self, gnmt):
+        """Unrolled cells share weights: only t=0 carries param bytes."""
+        t0 = gnmt.node("enc/l0/cell_t0")
+        t1 = gnmt.node("enc/l0/cell_t1")
+        assert t0.param_bytes > 0
+        assert t1.param_bytes == 0
+
+    def test_loss_aggregates_all_steps(self, gnmt):
+        total = gnmt.index_of("loss/sum")
+        assert len(gnmt.predecessors(total)) == 10
+
+    def test_flops_scale_with_batch(self):
+        small = build_gnmt(scale=0.25, batch_size=64)
+        big = build_gnmt(scale=0.25, batch_size=256)
+        assert big.total_flops() == pytest.approx(4 * small.total_flops(), rel=0.05)
