@@ -1,10 +1,13 @@
-.PHONY: install test bench experiments examples clean
+.PHONY: install test lint-docs bench experiments examples clean
 
 install:
 	pip install -e .
 
-test:
+test: lint-docs
 	pytest tests/
+
+lint-docs:
+	python tools/lint_docs.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,6 +8,11 @@ on-disk cache, exactly like the paper reuses the same runs across Table 2,
 Fig. 7 and Fig. 8.
 
 Delete ``benchmarks/.mars_cache`` to retrain from scratch.
+
+Uncached agent runs additionally write telemetry run directories (JSONL
+event logs + manifests, see ``docs/observability.md``) under
+``benchmarks/.mars_cache/runs/``; inspect one with
+``python -m repro.telemetry.report <run_dir>``.
 """
 
 from __future__ import annotations
@@ -24,7 +29,11 @@ CACHE_DIR = os.path.join(os.path.dirname(__file__), ".mars_cache")
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext(config=fast_profile(), cache_dir=CACHE_DIR)
+    return ExperimentContext(
+        config=fast_profile(),
+        cache_dir=CACHE_DIR,
+        telemetry_dir=os.path.join(CACHE_DIR, "runs"),
+    )
 
 
 def run_once(benchmark, fn):

@@ -2,12 +2,15 @@
 
 Builds the Inception-V3 computational graph, the paper's 4-GPU machine,
 and trains the Mars agent (DGI-pre-trained GCN encoder + segment-level
-seq2seq placer, PPO) for a handful of policy iterations.
+seq2seq placer, PPO) for a handful of policy iterations. The search is
+recorded by the telemetry layer (docs/observability.md): a run directory
+with JSONL events, a manifest and a metrics snapshot lands under runs/,
+and the run-summary table is printed at the end.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py [iterations]
 """
 
-import numpy as np
+import sys
 
 from repro import (
     ClusterSpec,
@@ -17,9 +20,16 @@ from repro import (
     gpu_only_placement,
     optimize_placement,
 )
+from repro.telemetry import start_run, use_telemetry
+from repro.telemetry.report import render_report
 
 
-def main():
+def main(iterations=None):
+    if iterations is None:
+        try:
+            iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+        except ValueError:
+            sys.exit(f"usage: {sys.argv[0]} [iterations]")
     # A scaled-down Inception-V3 keeps this example under a minute.
     graph = build_inception_v3(scale=0.34)
     cluster = ClusterSpec.default()  # 4x P100-12GB + Xeon host
@@ -27,8 +37,16 @@ def main():
 
     # 30 policy iterations keep this demo short; with ~40 the agent reaches
     # the single-GPU optimum (see benchmarks/bench_table2.py).
-    config = fast_profile(seed=0, iterations=30)
-    result = optimize_placement(graph, cluster, agent_kind="mars", config=config)
+    config = fast_profile(seed=0, iterations=iterations)
+    tel = start_run(
+        "quickstart-inception-v3",
+        base_dir="runs",
+        manifest={"workload": graph.name, "agent_kind": "mars",
+                  "seed": 0, "iterations": iterations},
+    )
+    with use_telemetry(tel):
+        result = optimize_placement(graph, cluster, agent_kind="mars", config=config)
+    tel.close()
 
     history = result.history
     print(f"\nsearched {history.total_samples} placements "
@@ -43,6 +61,13 @@ def main():
 
     placement = env.resolve(history.best_placement)
     print("\nbest placement:", placement.describe())
+
+    # The telemetry run summary (same as `python -m repro.telemetry.report`).
+    print()
+    print(render_report(tel.run_dir))
+    print(f"\ntelemetry run directory: {tel.run_dir}")
+    print("open a Perfetto trace with: "
+          f"PYTHONPATH=src python -m repro.telemetry.report {tel.run_dir} --trace run.trace.json")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,28 @@
-"""Per-device execution timelines (Gantt-style) from the simulator."""
+"""Per-device execution timelines (Gantt-style) from the simulator.
+
+:func:`build_timeline` replays one simulated training step and collects
+``(op, start, end)`` intervals per device; :func:`render_timeline` turns
+them into an ASCII Gantt chart — the quickest way to *see* whether a
+placement actually pipelines across devices or serializes on one.
+
+Usage::
+
+    from repro.analysis import build_timeline, render_timeline
+    from repro.sim import ClusterSpec
+    from repro.sim.placement import resolve_placement
+    from repro.workloads import build_inception_v3
+
+    graph = build_inception_v3(scale=0.2)
+    cluster = ClusterSpec.default()
+    placement = resolve_placement([0] * graph.num_nodes, graph, cluster)
+    timelines = build_timeline(placement)
+    print(render_timeline(timelines, width=72))
+    busiest = max(timelines, key=lambda tl: tl.busy_time)
+
+For an interactive, zoomable version of the same data, export a Chrome
+trace instead (:func:`repro.analysis.trace.placement_to_chrome_trace`)
+and open it in Perfetto — see ``docs/observability.md``.
+"""
 
 from __future__ import annotations
 

@@ -1,14 +1,40 @@
-"""Chrome-trace (catapult) export of one simulated training step.
+"""Chrome-trace (catapult) export: simulated steps and telemetry runs.
 
-The produced JSON loads in ``chrome://tracing`` / Perfetto, giving an
-interactive view of the per-device execution that the ASCII timeline only
-sketches.
+Two exporters, both producing the Trace Event JSON format that loads in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* :func:`placement_to_chrome_trace` — the per-device execution of **one
+  simulated training step**, one track per device, one slice per op.
+  Gives the interactive view that :func:`repro.analysis.timeline
+  .render_timeline`'s ASCII Gantt chart only sketches.
+* :func:`events_to_chrome_trace` — a **whole search run** from telemetry
+  JSONL events (see ``docs/observability.md``): environment measurements
+  and policy iterations as slices on the simulated clock, with counter
+  tracks for best runtime, baseline, and entropy.
+
+Usage::
+
+    from repro.analysis.trace import placement_to_chrome_trace
+    placement_to_chrome_trace(placement, path="step.trace.json")
+
+    # From a telemetry run directory:
+    from repro.telemetry import read_events
+    from repro.analysis.trace import events_to_chrome_trace
+    events_to_chrome_trace(read_events("runs/my-search"), path="run.trace.json")
+
+    # ... or straight from the CLI:
+    #   python -m repro.telemetry.report runs/my-search --trace run.trace.json
+
+Open the written file in Perfetto: timestamps are microseconds of
+*simulated* time, so slice durations compare directly with the paper's
+Fig. 8 training-time axis.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional
+import math
+from typing import Iterable, Optional
 
 from repro.analysis.timeline import build_timeline
 from repro.sim import CostModel, Placement
@@ -50,6 +76,153 @@ def placement_to_chrome_trace(
                 }
             )
     doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if path:
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+    return doc
+
+
+#: Track (pid) layout of the run-level trace.
+_PID_ENV = 0
+_PID_TRAINER = 1
+_PID_PRETRAIN = 2
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def events_to_chrome_trace(
+    events: Iterable[dict], path: Optional[str] = None
+) -> dict:
+    """Convert telemetry run events into a Chrome/Perfetto trace document.
+
+    The simulated clock (``sim_clock`` on ``eval``/``iteration`` events)
+    becomes the trace timebase:
+
+    * **environment** track — one slice per placement measurement
+      (``eval`` events; OOM and cutoff measurements are categorized so
+      Perfetto can color them differently),
+    * **trainer** track — one slice per policy iteration, with the
+      iteration's sample/invalid counts in ``args``; ``update`` events
+      appear as instant markers,
+    * **pre-training** track — one slice per DGI iteration (unit width),
+    * counter tracks — ``best_runtime``, ``baseline``, ``entropy``.
+
+    ``events`` may be any iterable of event dicts — typically
+    ``repro.telemetry.read_events(run_dir)``.
+    """
+    out = [
+        {"name": "process_name", "ph": "M", "pid": _PID_ENV,
+         "args": {"name": "environment (simulated clock)"}},
+        {"name": "process_name", "ph": "M", "pid": _PID_TRAINER,
+         "args": {"name": "trainer"}},
+    ]
+    prev_iter_clock = 0.0
+    last_clock = 0.0
+    seen_pretrain = False
+    for event in events:
+        etype = event.get("type")
+        if etype == "eval":
+            wall = event.get("wall_clock", 0.0)
+            clock = event.get("sim_clock", 0.0)
+            if not (_finite(wall) and _finite(clock)):
+                continue
+            last_clock = max(last_clock, clock)
+            if not event.get("valid", True):
+                category, name = "oom", "eval (OOM)"
+            elif event.get("truncated", False):
+                category, name = "cutoff", "eval (cutoff)"
+            elif event.get("cached", False):
+                category, name = "cached", "eval (cached)"
+            else:
+                category, name = "measure", "eval"
+            out.append({
+                "name": name,
+                "cat": category,
+                "ph": "X",
+                "pid": _PID_ENV,
+                "tid": 0,
+                "ts": (clock - wall) * 1e6,
+                "dur": max(wall * 1e6, 0.01),
+                "args": {
+                    "per_step_time": event.get("per_step_time"),
+                    "makespan": event.get("makespan")
+                    if _finite(event.get("makespan")) else None,
+                    "comm_time": event.get("comm_time"),
+                    "device_utilization": event.get("device_utilization"),
+                },
+            })
+        elif etype == "iteration":
+            clock = event.get("sim_clock", 0.0)
+            if not _finite(clock):
+                continue
+            last_clock = max(last_clock, clock)
+            out.append({
+                "name": f"iteration {event.get('iteration')}",
+                "cat": "iteration",
+                "ph": "X",
+                "pid": _PID_TRAINER,
+                "tid": 0,
+                "ts": prev_iter_clock * 1e6,
+                "dur": max((clock - prev_iter_clock) * 1e6, 0.01),
+                "args": {
+                    "samples": event.get("samples"),
+                    "n_invalid": event.get("n_invalid"),
+                    "n_truncated": event.get("n_truncated"),
+                    "wall_seconds": event.get("wall_seconds"),
+                },
+            })
+            for counter, value in (
+                ("best_runtime", event.get("best_runtime")),
+                ("baseline", event.get("baseline")),
+            ):
+                if _finite(value):
+                    out.append({
+                        "name": counter, "ph": "C", "pid": _PID_TRAINER,
+                        "ts": clock * 1e6, "args": {counter: value},
+                    })
+            prev_iter_clock = clock
+        elif etype == "update":
+            out.append({
+                "name": "update",
+                "cat": "update",
+                "ph": "i",
+                "s": "t",
+                "pid": _PID_TRAINER,
+                "tid": 0,
+                "ts": prev_iter_clock * 1e6,
+                "args": {
+                    "entropy": event.get("entropy"),
+                    "clip_fraction": event.get("clip_fraction"),
+                    "approx_kl": event.get("approx_kl"),
+                },
+            })
+            if _finite(event.get("entropy")):
+                out.append({
+                    "name": "entropy", "ph": "C", "pid": _PID_TRAINER,
+                    "ts": prev_iter_clock * 1e6,
+                    "args": {"entropy": event.get("entropy")},
+                })
+        elif etype == "pretrain":
+            if not seen_pretrain:
+                seen_pretrain = True
+                out.append({"name": "process_name", "ph": "M",
+                            "pid": _PID_PRETRAIN,
+                            "args": {"name": "DGI pre-training"}})
+            it = event.get("iteration", 0)
+            out.append({
+                "name": "dgi step",
+                "cat": "pretrain",
+                "ph": "X",
+                "pid": _PID_PRETRAIN,
+                "tid": 0,
+                "ts": float(it) * 1e6,
+                "dur": 1e6,
+                "args": {"loss": event.get("loss"),
+                         "best_loss": event.get("best_loss")},
+            })
+    doc = {"traceEvents": out, "displayTimeUnit": "ms"}
     if path:
         with open(path, "w") as fh:
             json.dump(doc, fh)

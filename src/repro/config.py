@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from repro.rl.ppo import PPOConfig
 from repro.rl.reward import RewardConfig
 from repro.rl.trainer import TrainerConfig
+from repro.telemetry import TelemetryConfig
 
 
 @dataclass
@@ -60,6 +61,11 @@ class MarsConfig:
     pretrain: PretrainConfig = field(default_factory=PretrainConfig)
     grouper: GrouperConfig = field(default_factory=GrouperConfig)
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
+    # Observability (docs/observability.md): metrics always accumulate
+    # in memory when enabled; set ``telemetry.run_dir`` to also write a
+    # JSONL event log + manifest per ``optimize_placement`` call, or
+    # ``telemetry.enabled = False`` to turn every hook into a no-op.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     seed: int = 0
 
 

@@ -26,6 +26,7 @@ from repro.rl.trainer import JointTrainer, SearchHistory
 from repro.sim.cluster import ClusterSpec
 from repro.sim.env import PlacementEnv
 from repro.sim.measurement import MeasurementProtocol
+from repro.telemetry import Telemetry, telemetry_from_config, use_telemetry
 from repro.utils.logging import get_logger
 
 logger = get_logger("repro.core.search")
@@ -122,22 +123,47 @@ def optimize_placement(
     protocol: Optional[MeasurementProtocol] = None,
     env: Optional[PlacementEnv] = None,
     feature_extractor: Optional[FeatureExtractor] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> OptimizationResult:
-    """Find a placement for ``graph`` with agent ``agent_kind``."""
+    """Find a placement for ``graph`` with agent ``agent_kind``.
+
+    Telemetry: pass a :class:`~repro.telemetry.Telemetry` session, or let
+    ``config.telemetry`` decide — with ``run_dir`` set, each call opens a
+    per-run directory (events + manifest + metrics, see
+    ``docs/observability.md``); otherwise the ambient session is used.
+    """
     cluster = cluster or ClusterSpec.default()
     config = config or fast_profile()
-    env = env or PlacementEnv(graph, cluster, protocol=protocol)
 
-    agent, pretrain_clock = build_agent(agent_kind, graph, cluster, config, feature_extractor)
-    history = SearchHistory(pretrain_clock=pretrain_clock)
-    trainer = JointTrainer(agent, env, config.trainer)
-    history = trainer.train(history)
+    owned = None
+    if telemetry is None:
+        owned = telemetry_from_config(
+            getattr(config, "telemetry", None),
+            name=f"{graph.name}__{agent_kind.replace(':', '-')}",
+            manifest={"workload": graph.name, "agent_kind": agent_kind,
+                      "seed": config.seed},
+        )
+        telemetry = owned
+    try:
+        with use_telemetry(telemetry):
+            env = env or PlacementEnv(graph, cluster, protocol=protocol)
+            agent, pretrain_clock = build_agent(
+                agent_kind, graph, cluster, config, feature_extractor
+            )
+            history = SearchHistory(pretrain_clock=pretrain_clock)
+            trainer = JointTrainer(agent, env, config.trainer)
+            history = trainer.train(history)
 
-    if history.best_placement is None:
-        logger.warning("%s/%s never found a valid placement", graph.name, agent_kind)
-        final = float("nan")
-    else:
-        final = env.final_run(history.best_placement)
+            if history.best_placement is None:
+                logger.warning(
+                    "%s/%s never found a valid placement", graph.name, agent_kind
+                )
+                final = float("nan")
+            else:
+                final = env.final_run(history.best_placement)
+    finally:
+        if owned is not None:
+            owned.close()
     return OptimizationResult(
         workload=graph.name,
         agent_kind=agent_kind,

@@ -26,6 +26,7 @@ from repro.config import MarsConfig, fast_profile, with_seed
 from repro.core.search import OptimizationResult, optimize_placement
 from repro.graph import CompGraph, FeatureExtractor
 from repro.sim import ClusterSpec, MeasurementProtocol, PlacementEnv
+from repro.telemetry import start_run, use_telemetry
 from repro.utils.logging import get_logger
 from repro.workloads import get_workload
 
@@ -147,10 +148,14 @@ class ExperimentContext:
         config: Optional[MarsConfig] = None,
         cache_dir: Optional[str] = None,
         specs: Optional[Dict[str, WorkloadSpec]] = None,
+        telemetry_dir: Optional[str] = None,
     ):
         self.config = config or fast_profile()
         self.specs = specs or WORKLOAD_SPECS
         self.cache_dir = cache_dir
+        # When set, every uncached agent run opens a telemetry run
+        # directory (JSONL events + manifest + metrics) under this base.
+        self.telemetry_dir = telemetry_dir
         self._memory_cache: Dict[str, RunSummary] = {}
         self._graphs: Dict[str, CompGraph] = {}
         self.feature_extractor = FeatureExtractor()
@@ -232,14 +237,32 @@ class ExperimentContext:
                 patience_samples=spec.patience_samples,
             ),
         )
-        result = optimize_placement(
-            self.graph(workload_key),
-            spec.build_cluster(),
-            agent_kind,
-            config,
-            protocol=spec.build_protocol(),
-            feature_extractor=self.feature_extractor,
-        )
+        tel = None
+        if self.telemetry_dir:
+            tel = start_run(
+                key,
+                self.telemetry_dir,
+                manifest={
+                    "workload": workload_key,
+                    "agent_kind": agent_kind,
+                    "seed": seed,
+                    "iterations": iterations,
+                    "cache_key": key,
+                },
+            )
+        try:
+            with use_telemetry(tel):
+                result = optimize_placement(
+                    self.graph(workload_key),
+                    spec.build_cluster(),
+                    agent_kind,
+                    config,
+                    protocol=spec.build_protocol(),
+                    feature_extractor=self.feature_extractor,
+                )
+        finally:
+            if tel is not None:
+                tel.close()
         summary = RunSummary.from_result(result, seed, iterations)
         self._memory_cache[key] = summary
         if path:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from dataclasses import replace
 
 from repro.config import fast_profile, paper_profile
 from repro.experiments import fig7, fig8, table1, table2, table3
@@ -75,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for cached run results (shared across experiments)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="write a telemetry run directory (JSONL events, manifest, "
+        "metrics) per uncached agent run under DIR; inspect with "
+        "'python -m repro.telemetry.report <run>' (docs/observability.md)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable all telemetry hooks (in-memory metrics included)",
+    )
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -84,7 +98,13 @@ def main(argv=None) -> int:
     if args.verbose:
         set_verbosity(logging.DEBUG)
     config = paper_profile() if args.profile == "paper" else fast_profile(seed=args.seed)
-    ctx = ExperimentContext(config=config, cache_dir=args.cache_dir)
+    if args.no_telemetry:
+        config = replace(config, telemetry=replace(config.telemetry, enabled=False))
+    ctx = ExperimentContext(
+        config=config,
+        cache_dir=args.cache_dir,
+        telemetry_dir=None if args.no_telemetry else args.telemetry_dir,
+    )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"\n===== {name} =====")

@@ -15,6 +15,7 @@ import scipy.sparse as sp
 
 from repro.gnn.dgi import DGI
 from repro.nn import Adam, Module, clip_grad_norm
+from repro.telemetry import Telemetry, get_telemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 
@@ -44,23 +45,28 @@ def pretrain_encoder(
     grad_clip: float = 1.0,
     patience: Optional[int] = None,
     seed=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> PretrainResult:
     """Pre-train ``encoder`` with DGI on one graph; restores the best state.
 
     ``patience`` optionally stops early after that many iterations without
     improvement (the paper runs a fixed 1000 iterations and keeps the best).
+    The DGI loss curve is recorded in the active telemetry session
+    (``pretrain.loss`` histogram + one ``pretrain`` event per iteration).
     """
     rng = new_rng(seed)
+    tel = telemetry or get_telemetry()
     dgi = DGI(encoder, rng=rng)
     opt = Adam(dgi.parameters(), lr=lr)
     result = PretrainResult(best_loss=float("inf"), best_iteration=-1)
     stale = 0
     for it in range(iterations):
-        opt.zero_grad()
-        loss = dgi.loss(x, adj, rng)
-        loss.backward()
-        clip_grad_norm(dgi.parameters(), grad_clip)
-        opt.step()
+        with tel.profile_section("pretrain.step"):
+            opt.zero_grad()
+            loss = dgi.loss(x, adj, rng)
+            loss.backward()
+            clip_grad_norm(dgi.parameters(), grad_clip)
+            opt.step()
         value = loss.item()
         result.losses.append(value)
         if value < result.best_loss:
@@ -73,6 +79,16 @@ def pretrain_encoder(
             if patience is not None and stale >= patience:
                 logger.debug("pretrain early stop at iteration %d", it)
                 break
+        tel.counter("pretrain.iterations").inc()
+        tel.histogram("pretrain.loss").observe(value)
+        tel.gauge("pretrain.best_loss").set(result.best_loss)
+        if tel.sample_events:
+            tel.emit(
+                "pretrain",
+                iteration=it,
+                loss=float(value),
+                best_loss=float(result.best_loss),
+            )
     if result.best_state:
         encoder.load_state_dict(result.best_state)
     return result

@@ -37,6 +37,7 @@ class UpdateStats:
     policy_loss: float = 0.0
     entropy: float = 0.0
     clip_fraction: float = 0.0
+    approx_kl: float = 0.0  # mean(logp_old - logp_new) over decisions
     grad_norm: float = 0.0
     passes: int = 0
 
@@ -77,11 +78,13 @@ class PPOUpdater:
                 stats.clip_fraction += float(
                     np.mean(np.abs(ratio.data - 1.0) > cfg.clip_ratio)
                 )
+                stats.approx_kl += float(np.mean(sub.old_logp - logp.data))
                 stats.grad_norm += norm
                 stats.passes += 1
         if stats.passes:
             stats.policy_loss /= stats.passes
             stats.entropy /= stats.passes
             stats.clip_fraction /= stats.passes
+            stats.approx_kl /= stats.passes
             stats.grad_norm /= stats.passes
         return stats

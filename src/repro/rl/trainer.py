@@ -15,6 +15,7 @@ wrapper before training starts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -27,6 +28,7 @@ from repro.rl.ppo import PPOConfig, PPOUpdater
 from repro.rl.reinforce import ReinforceConfig, ReinforceUpdater
 from repro.rl.reward import RewardConfig, RewardTracker
 from repro.sim.env import PlacementEnv
+from repro.telemetry import Telemetry, get_telemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 
@@ -110,10 +112,17 @@ class TrainerConfig:
 class JointTrainer:
     """Trains a :class:`PolicyAgent` against a :class:`PlacementEnv`."""
 
-    def __init__(self, agent: PolicyAgent, env: PlacementEnv, config: TrainerConfig = TrainerConfig()):
+    def __init__(
+        self,
+        agent: PolicyAgent,
+        env: PlacementEnv,
+        config: TrainerConfig = TrainerConfig(),
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.agent = agent
         self.env = env
         self.config = config
+        self._telemetry = telemetry  # None -> ambient session at train()
         self.rng = new_rng(config.seed)
         self.tracker = RewardTracker(config.reward)
         self.buffer = RolloutBuffer(config.buffer_capacity)
@@ -129,6 +138,7 @@ class JointTrainer:
     def train(self, history: Optional[SearchHistory] = None) -> SearchHistory:
         """Run the search; an existing ``history`` continues (fine-tuning)."""
         cfg = self.config
+        tel = self._telemetry or get_telemetry()
         history = history or SearchHistory()
         if not history.records and history.sim_clock < history.pretrain_clock:
             history.sim_clock = history.pretrain_clock
@@ -137,12 +147,32 @@ class JointTrainer:
         samples_since_best = 0
 
         for it in range(cfg.iterations):
-            rollout = self.agent.sample(cfg.samples_per_policy, self.rng)
-            results = [self.env.evaluate(p) for p in rollout.placements]
+            it_index = len(history.records)
+            iter_wall_start = time.perf_counter()
+            with tel.profile_section("train.sample"):
+                rollout = self.agent.sample(cfg.samples_per_policy, self.rng)
+            with tel.profile_section("train.evaluate"):
+                results = [self.env.evaluate(p) for p in rollout.placements]
             runtimes = [res.per_step_time for res in results]
             _, advantages = self.tracker.compute(runtimes)
             self.buffer.add(rollout, advantages)
             samples += len(results)
+            tel.counter("trainer.samples").inc(len(results))
+            reward_hist = tel.histogram("trainer.sample_runtime")
+            for res in results:
+                if res.ok:
+                    reward_hist.observe(res.per_step_time)
+            if tel.sample_events:
+                for i, res in enumerate(results):
+                    tel.emit(
+                        "sample",
+                        iteration=it_index,
+                        index=i,
+                        runtime=float(res.per_step_time),
+                        valid=bool(res.valid),
+                        truncated=bool(res.truncated),
+                        advantage=float(advantages[i]),
+                    )
 
             improved = False
             patience_bar = history.best_runtime * (1.0 - cfg.patience_min_improvement)
@@ -157,11 +187,28 @@ class JointTrainer:
             agent_seconds = 0.0
             if self.buffer.is_ready(cfg.update_min_samples):
                 merged, advs = self.buffer.merged()
-                stats = self.updater.update(merged, advs)
+                with tel.profile_section("train.update"):
+                    stats = self.updater.update(merged, advs)
                 pass_batch = max(1, merged.batch_size // max(getattr(cfg.ppo, "minibatches", 1), 1))
                 agent_seconds = stats.passes * (
                     self.agent.update_flops(pass_batch) / AGENT_DEVICE_FLOPS
                     + AGENT_PASS_OVERHEAD
+                )
+                tel.counter("trainer.updates").inc()
+                tel.histogram("trainer.entropy").observe(stats.entropy)
+                tel.histogram("trainer.clip_fraction").observe(stats.clip_fraction)
+                tel.histogram("trainer.approx_kl").observe(stats.approx_kl)
+                tel.histogram("trainer.policy_loss").observe(stats.policy_loss)
+                tel.histogram("trainer.grad_norm").observe(stats.grad_norm)
+                tel.emit(
+                    "update",
+                    iteration=it_index,
+                    policy_loss=float(stats.policy_loss),
+                    entropy=float(stats.entropy),
+                    clip_fraction=float(stats.clip_fraction),
+                    approx_kl=float(stats.approx_kl),
+                    grad_norm=float(stats.grad_norm),
+                    passes=int(stats.passes),
                 )
 
             # The env clock is cumulative; fold in this iteration's delta.
@@ -183,6 +230,27 @@ class JointTrainer:
             )
             history.records.append(record)
             history.sim_clock = sim_clock
+
+            # Wall vs simulated clock: `wall_seconds` is real time this
+            # iteration cost us; `sim_clock` is what it would have cost on
+            # the paper's testbed (the Fig. 8 quantity).
+            iter_wall = time.perf_counter() - iter_wall_start
+            tel.counter("trainer.iterations").inc()
+            tel.histogram("trainer.iteration_wall_s").observe(iter_wall)
+            tel.gauge("trainer.best_runtime").set(history.best_runtime)
+            tel.gauge("trainer.baseline").set(record.baseline)
+            tel.gauge("trainer.sim_clock").set(sim_clock)
+            tel.emit(
+                "iteration",
+                iteration=it_index,
+                samples=int(samples),
+                best_runtime=float(history.best_runtime),
+                baseline=float(record.baseline),
+                n_invalid=int(record.n_invalid),
+                n_truncated=int(record.n_truncated),
+                sim_clock=float(sim_clock),
+                wall_seconds=float(iter_wall),
+            )
 
             if cfg.log_every and (it + 1) % cfg.log_every == 0:
                 logger.info(

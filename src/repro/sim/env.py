@@ -23,6 +23,7 @@ from repro.sim.measurement import MeasurementProtocol, MeasurementResult
 from repro.sim.memory import MemoryModel
 from repro.sim.placement import Placement, resolve_placement
 from repro.sim.scheduler import Scheduler
+from repro.telemetry import Telemetry, get_telemetry
 
 
 @dataclass
@@ -46,8 +47,10 @@ class PlacementEnv:
         cost_model: Optional[CostModel] = None,
         memory_model: Optional[MemoryModel] = None,
         protocol: Optional[MeasurementProtocol] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.graph = graph
+        self._telemetry = telemetry  # None -> ambient session per evaluate()
         self.cluster = cluster or ClusterSpec.default()
         self.cost_model = cost_model or CostModel()
         self.memory_model = memory_model or MemoryModel()
@@ -89,6 +92,7 @@ class PlacementEnv:
     # ------------------------------------------------------------------
     def evaluate(self, actions: Sequence[int]) -> MeasurementResult:
         """Measure a placement proposed by the agent (cached)."""
+        tel = self._telemetry or get_telemetry()
         placement = self.resolve(actions)
         key = placement.devices.tobytes()
         cached = self._cache.get(key)
@@ -98,11 +102,29 @@ class PlacementEnv:
             # Re-measuring a known placement is quick on a real setup too
             # (no exploration value) — charge only the re-init.
             self.stats.wall_clock += self.protocol.reinit_cost
+            tel.counter("env.evaluations").inc()
+            tel.counter("env.cache_hits").inc()
+            if tel.sample_events:
+                tel.emit(
+                    "eval",
+                    makespan=float("nan"),
+                    per_step_time=float(cached.per_step_time),
+                    valid=bool(cached.valid),
+                    truncated=bool(cached.truncated),
+                    cached=True,
+                    wall_clock=float(self.protocol.reinit_cost),
+                    sim_clock=float(self.stats.wall_clock),
+                )
             return cached
 
-        _, oom = self.check_memory(placement)
+        usage, oom = self.check_memory(placement)
         valid = not bool(oom.any())
-        makespan = self.makespan(placement) if valid else float("inf")
+        schedule = (
+            self.scheduler.run_step(placement, self._op_times, self._order)
+            if valid
+            else None
+        )
+        makespan = schedule.makespan if valid else float("inf")
         result = self.protocol.measure(makespan, valid, hash(placement))
         self._cache[key] = result
         self.stats.evaluations += 1
@@ -111,6 +133,55 @@ class PlacementEnv:
             self.stats.invalid += 1
         if result.truncated:
             self.stats.truncated += 1
+
+        # Telemetry: makespan breakdown + OOM/cutoff accounting. The
+        # schedule result is a by-product of the measurement, so the extra
+        # cost here is a few scalar reductions per (uncached) evaluation.
+        tel.counter("env.evaluations").inc()
+        tel.histogram("env.measure_wall_s").observe(result.wall_clock)
+        if schedule is not None:
+            utilization = (
+                float(np.mean(schedule.device_busy) / schedule.makespan)
+                if schedule.makespan > 0
+                else 0.0
+            )
+            tel.histogram("env.makespan").observe(schedule.makespan)
+            tel.histogram("env.comm_time").observe(schedule.comm_time)
+            tel.histogram("env.comm_bytes").observe(schedule.comm_bytes)
+            tel.histogram("env.device_utilization").observe(utilization)
+        else:
+            utilization = 0.0
+        if not result.valid:
+            worst = int(np.argmax(usage - self._capacity))
+            tel.counter("env.oom").inc()
+            tel.emit(
+                "oom",
+                sim_clock=float(self.stats.wall_clock),
+                usage_gb=float(usage[worst] / 2**30),
+                capacity_gb=float(self._capacity[worst] / 2**30),
+            )
+        if result.truncated:
+            tel.counter("env.cutoff").inc()
+            tel.emit(
+                "cutoff",
+                sim_clock=float(self.stats.wall_clock),
+                per_step_time=float(result.per_step_time),
+                steps_run=int(result.steps_run),
+            )
+        if tel.sample_events:
+            tel.emit(
+                "eval",
+                makespan=float(makespan),
+                per_step_time=float(result.per_step_time),
+                valid=bool(result.valid),
+                truncated=bool(result.truncated),
+                cached=False,
+                wall_clock=float(result.wall_clock),
+                sim_clock=float(self.stats.wall_clock),
+                comm_time=float(schedule.comm_time) if schedule else 0.0,
+                comm_bytes=float(schedule.comm_bytes) if schedule else 0.0,
+                device_utilization=utilization,
+            )
         return result
 
     def final_run(self, actions: Sequence[int], steps: int = 1000) -> float:

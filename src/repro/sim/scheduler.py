@@ -1,15 +1,16 @@
-"""Deterministic list scheduler producing the per-step makespan.
+"""Deterministic event-driven scheduler producing the per-step makespan.
 
-Ops execute on their assigned device in topological-index order (the TF
-executor dispatches roughly FIFO per device); an op starts when its device
-is free and all its inputs have *arrived* — inputs produced on another
-device pay a transfer on the serialized link between the two devices. A
-producer's output is shipped to each consuming device at most once.
+Ops execute on their assigned device once all inputs have *arrived* there
+(the TF executor's dataflow firing rule); inputs produced on another
+device pay a transfer on the serialized link between the two devices, and
+a producer's output is shipped to each consuming device at most once.
 
-The algorithm is a single O(V + E) pass over the topological order with
-per-device and per-link clocks — no event heap needed because processing
-nodes in topological order guarantees every predecessor's finish time is
-already known.
+The simulation is event-driven: a single event heap orders op completions
+and tensor arrivals; each device runs one ready op at a time, picking the
+ready op with the smallest topological index (deterministic
+tie-breaking). This is what lets independent devices overlap — the
+cell-level pipelining that makes model-parallel RNN placements pay off —
+at O((V + E) log(V + E)) per simulated step.
 """
 
 from __future__ import annotations

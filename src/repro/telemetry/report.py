@@ -1,0 +1,231 @@
+"""Run-summary reports over telemetry run directories.
+
+CLI::
+
+    python -m repro.telemetry.report <run_dir>
+    python -m repro.telemetry.report <run_dir> --trace trace.json
+    python -m repro.telemetry.report <run_dir> --json
+
+The text report shows the run manifest, event counts by type, the search
+progress extracted from ``iteration`` events, and every metric recorded
+in ``metrics.json`` (counters, gauges, histogram quantiles). ``--trace``
+converts the event log into a Chrome/Perfetto trace via
+:func:`repro.analysis.trace.events_to_chrome_trace`.
+
+Library use::
+
+    from repro.telemetry.report import load_run, render_report
+    print(render_report("runs/quickstart-inception-v3"))
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import Counter as _TallyCounter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.events import read_events, validate_event
+
+__all__ = ["RunData", "load_run", "summarize_run", "render_report", "main"]
+
+
+@dataclass
+class RunData:
+    """Everything a run directory holds, parsed."""
+
+    run_dir: str
+    manifest: Dict = field(default_factory=dict)
+    metrics: Dict = field(default_factory=dict)
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        return dict(_TallyCounter(e.get("type", "?") for e in self.events))
+
+
+def load_run(run_dir: str) -> RunData:
+    """Parse manifest, metrics snapshot and all events of one run."""
+    if not os.path.isdir(run_dir):
+        raise FileNotFoundError(f"not a run directory: {run_dir}")
+    data = RunData(run_dir=run_dir)
+    manifest_path = os.path.join(run_dir, "manifest.json")
+    if os.path.exists(manifest_path):
+        with open(manifest_path) as fh:
+            data.manifest = json.load(fh)
+    metrics_path = os.path.join(run_dir, "metrics.json")
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as fh:
+            data.metrics = json.load(fh)
+    data.events = list(read_events(run_dir))
+    return data
+
+
+def summarize_run(data: RunData) -> Dict:
+    """Compact JSON-friendly digest of one run (used by ``--json``)."""
+    iterations = [e for e in data.events if e.get("type") == "iteration"]
+    invalid = sum(e.get("n_invalid", 0) for e in iterations)
+    truncated = sum(e.get("n_truncated", 0) for e in iterations)
+    errors = [err for e in data.events for err in validate_event(e)]
+    summary: Dict = {
+        "run_dir": data.run_dir,
+        "name": data.manifest.get("name"),
+        "events": len(data.events),
+        "event_counts": data.event_counts,
+        "schema_errors": errors,
+        "metric_names": sorted(
+            set(data.metrics.get("counters", {}))
+            | set(data.metrics.get("gauges", {}))
+            | set(data.metrics.get("histograms", {}))
+        ),
+    }
+    if iterations:
+        first, last = iterations[0], iterations[-1]
+        summary["search"] = {
+            "iterations": len(iterations),
+            "samples": last.get("samples"),
+            "first_best_runtime": first.get("best_runtime"),
+            "final_best_runtime": last.get("best_runtime"),
+            "sim_clock_hours": last.get("sim_clock", 0.0) / 3600.0,
+            "wall_seconds": sum(e.get("wall_seconds", 0.0) for e in iterations),
+            "invalid_samples": invalid,
+            "truncated_samples": truncated,
+        }
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    out = [" | ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    out.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        out.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_report(run_dir: str) -> str:
+    """The full text report for one run directory."""
+    data = load_run(run_dir)
+    summary = summarize_run(data)
+    lines: List[str] = []
+    lines.append(f"=== telemetry report: {summary.get('name') or run_dir} ===")
+    manifest = data.manifest
+    for key in ("workload", "agent_kind", "seed", "iterations", "profile"):
+        if key in manifest:
+            lines.append(f"{key}: {manifest[key]}")
+    lines.append(f"run_dir: {data.run_dir}")
+    lines.append(f"events: {summary['events']} "
+                 f"({', '.join(f'{k}={v}' for k, v in sorted(summary['event_counts'].items()))})")
+    if summary["schema_errors"]:
+        lines.append(f"SCHEMA ERRORS: {len(summary['schema_errors'])} "
+                     f"(first: {summary['schema_errors'][0]})")
+    else:
+        lines.append("schema: ok")
+
+    search = summary.get("search")
+    if search:
+        lines.append("")
+        lines.append(_table(
+            ["iterations", "samples", "best (first)", "best (final)",
+             "sim hours", "wall s", "invalid", "cutoff"],
+            [[
+                search["iterations"],
+                search["samples"],
+                _fmt(search["first_best_runtime"]),
+                _fmt(search["final_best_runtime"]),
+                _fmt(search["sim_clock_hours"], 3),
+                _fmt(search["wall_seconds"], 3),
+                search["invalid_samples"],
+                search["truncated_samples"],
+            ]],
+        ))
+
+    counters = data.metrics.get("counters", {})
+    gauges = data.metrics.get("gauges", {})
+    histograms = data.metrics.get("histograms", {})
+    rows: List[List[str]] = []
+    for name, c in sorted(counters.items()):
+        rows.append([name, "counter", _fmt(c.get("value")), "-", "-", "-", "-"])
+    for name, g in sorted(gauges.items()):
+        rows.append([name, "gauge", _fmt(g.get("value")), "-", "-", "-", "-"])
+    for name, h in sorted(histograms.items()):
+        rows.append([
+            name, "histogram", _fmt(h.get("count")), _fmt(h.get("mean")),
+            _fmt(h.get("p50")), _fmt(h.get("p95")), _fmt(h.get("p99")),
+        ])
+    if rows:
+        lines.append("")
+        lines.append(_table(
+            ["metric", "kind", "count/value", "mean", "p50", "p95", "p99"], rows
+        ))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarize a telemetry run directory.",
+    )
+    parser.add_argument("run_dir", help="directory written by repro.telemetry.start_run")
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="also export the event log as a Chrome/Perfetto trace",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the digest as JSON instead of text"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        data = load_run(args.run_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summarize_run(data), indent=2, default=str))
+    else:
+        print(render_report(args.run_dir))
+    if args.trace:
+        # Imported lazily: repro.analysis pulls in the simulator stack,
+        # which plain report rendering does not need.
+        from repro.analysis.trace import events_to_chrome_trace
+
+        events_to_chrome_trace(data.events, path=args.trace)
+        print(f"\nwrote Chrome trace to {args.trace} "
+              f"(open in Perfetto or chrome://tracing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

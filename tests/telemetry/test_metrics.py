@@ -1,0 +1,158 @@
+"""Unit tests for the metrics registry (counters, histograms, timers)."""
+
+import math
+import time
+
+import pytest
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.metrics import (
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        m = MetricsRegistry()
+        m.counter("x").inc()
+        m.counter("x").inc(4)
+        assert m.counter("x").value == 5
+
+    def test_gauge_last_value_wins(self):
+        m = MetricsRegistry()
+        m.gauge("g").set(1.0)
+        m.gauge("g").set(2.5)
+        assert m.gauge("g").value == 2.5
+        assert m.gauge("g").updates == 2
+
+    def test_get_or_create_identity(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.histogram("h") is m.histogram("h")
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        h = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 10.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 16.0
+        assert h.min == 1.0 and h.max == 10.0
+        assert h.mean == 4.0
+
+    def test_quantiles_exact_when_small(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert abs(h.quantile(0.5) - 50.5) < 1.0
+
+    def test_quantiles_streaming_approximation(self):
+        # 10k observations through a 512-slot reservoir: quantile
+        # estimates must stay within a few percent of the true values.
+        h = Histogram("h", reservoir_size=512)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert abs(h.quantile(0.50) - 5_000) < 1_000
+        assert abs(h.quantile(0.95) - 9_500) < 600
+        assert abs(h.quantile(0.99) - 9_900) < 400
+
+    def test_deterministic_reservoir(self):
+        a, b = Histogram("same"), Histogram("same")
+        for v in range(5_000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.quantile(0.5) == b.quantile(0.5)
+
+    def test_empty_quantile_nan(self):
+        assert math.isnan(Histogram("h").quantile(0.5))
+
+    def test_snapshot_keys(self):
+        m = MetricsRegistry()
+        m.histogram("h").observe(1.0)
+        snap = m.snapshot()["histograms"]["h"]
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p95", "p99"):
+            assert key in snap
+
+
+class TestTimers:
+    def test_timer_records_elapsed(self):
+        m = MetricsRegistry()
+        with m.timer("t_s"):
+            time.sleep(0.01)
+        h = m.histogram("t_s")
+        assert h.count == 1
+        assert h.total >= 0.009
+
+    def test_timer_nesting_records_both(self):
+        m = MetricsRegistry()
+        with m.timer("outer"):
+            with m.timer("inner"):
+                pass
+        assert m.histogram("outer").count == 1
+        assert m.histogram("inner").count == 1
+        assert m.histogram("outer").total >= m.histogram("inner").total
+
+    def test_profile_section_hierarchical_names(self):
+        m = MetricsRegistry()
+        with m.profile_section("train"):
+            with m.profile_section("sample"):
+                pass
+            with m.profile_section("update"):
+                pass
+        assert m.histogram("profile.train").count == 1
+        assert m.histogram("profile.train/sample").count == 1
+        assert m.histogram("profile.train/update").count == 1
+        # Stack unwinds fully: a later top-level section is not nested.
+        with m.profile_section("eval"):
+            pass
+        assert m.histogram("profile.eval").count == 1
+
+    def test_timer_survives_exception(self):
+        m = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with m.timer("t"):
+                raise RuntimeError("boom")
+        assert m.histogram("t").count == 1
+
+    def test_profile_section_unwinds_on_exception(self):
+        m = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with m.profile_section("a"):
+                raise RuntimeError("boom")
+        with m.profile_section("b"):
+            pass
+        assert m.histogram("profile.b").count == 1
+
+
+class TestNullSink:
+    def test_null_registry_is_inert(self):
+        m = NullMetricsRegistry()
+        m.counter("c").inc(5)
+        m.gauge("g").set(1.0)
+        m.histogram("h").observe(2.0)
+        with m.timer("t"):
+            pass
+        with m.profile_section("s"):
+            pass
+        assert m.names() == []
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert m.counter("c").value == 0
+        assert m.histogram("h").count == 0
+
+    def test_disabled_telemetry_uses_null_sinks(self):
+        tel = Telemetry(enabled=False)
+        tel.counter("c").inc()
+        tel.emit("iteration", iteration=0)  # invalid payload: must not raise
+        assert tel.metrics.names() == []
+        assert not tel.sample_events
+
+    def test_null_telemetry_singleton_close_is_safe(self):
+        NULL_TELEMETRY.close()
+        NULL_TELEMETRY.counter("x").inc()
+        assert NULL_TELEMETRY.metrics.names() == []

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Documentation lint: Markdown link check + event-fixture validation.
+
+Run from the repo root (``make lint-docs`` does):
+
+    python tools/lint_docs.py
+
+Two checks, both stdlib-only:
+
+1. Every relative link/image target in the repo's Markdown files must
+   exist on disk (``http(s)://``, ``mailto:`` and pure ``#anchor`` links
+   are skipped; a ``target#anchor`` suffix is stripped before the check).
+2. Every ``tests/fixtures/*.jsonl`` event fixture must parse as JSONL
+   and validate against the event schema in ``repro.telemetry.events``
+   — keeping docs/observability.md's schema reference, the fixtures,
+   and the code in sync.
+
+Exit status is non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.telemetry.events import validate_event  # noqa: E402
+
+# [text](target) and ![alt](target); target ends at the first ')' or space.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+_SKIP_DIRS = {".git", ".mars_cache", "__pycache__", ".pytest_cache", "runs"}
+
+
+def iter_markdown_files():
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — example links in them aren't promises."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_markdown_links() -> list:
+    errors = []
+    for path in sorted(iter_markdown_files()):
+        rel = os.path.relpath(path, REPO_ROOT)
+        text = strip_code_blocks(open(path, encoding="utf-8").read())
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {match.group(1)}")
+    return errors
+
+
+def check_event_fixtures() -> list:
+    errors = []
+    pattern = os.path.join(REPO_ROOT, "tests", "fixtures", "*.jsonl")
+    fixtures = sorted(glob.glob(pattern))
+    if not fixtures:
+        return [f"no JSONL fixtures found under {pattern}"]
+    for path in fixtures:
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError as exc:
+                    errors.append(f"{rel}:{lineno}: not JSON ({exc})")
+                    continue
+                for problem in validate_event(event):
+                    errors.append(f"{rel}:{lineno}: {problem}")
+    return errors
+
+
+def main() -> int:
+    errors = check_markdown_links() + check_event_fixtures()
+    for error in errors:
+        print(error, file=sys.stderr)
+    n_md = len(list(iter_markdown_files()))
+    if errors:
+        print(f"lint-docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"lint-docs: OK ({n_md} Markdown files, fixtures valid)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
