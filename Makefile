@@ -1,9 +1,9 @@
-.PHONY: install test lint-docs bench experiments examples clean
+.PHONY: install test lint-docs bench bench-smoke experiments examples clean
 
 install:
 	pip install -e .
 
-test: lint-docs
+test: lint-docs bench-smoke
 	pytest tests/
 
 lint-docs:
@@ -11,6 +11,11 @@ lint-docs:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Exercise the parallel evaluate_batch path on a tiny graph (no timings):
+# proves the pool + serial paths agree on every `make test`.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_batch_eval.py --smoke
 
 experiments:
 	python -m repro.experiments.runner all --cache-dir benchmarks/.mars_cache

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from repro.rl.ppo import PPOConfig
 from repro.rl.reward import RewardConfig
 from repro.rl.trainer import TrainerConfig
+from repro.sim.batch import BatchEvalConfig
 from repro.telemetry import TelemetryConfig
 
 
@@ -66,6 +67,12 @@ class MarsConfig:
     # JSONL event log + manifest per ``optimize_placement`` call, or
     # ``telemetry.enabled = False`` to turn every hook into a no-op.
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    # Batched placement evaluation (docs/architecture.md §2): how
+    # ``PlacementEnv.evaluate_batch`` spreads a rollout's measurements
+    # over workers, and the bound on the environment's result cache.
+    # The default is cpu-count-aware with a deterministic serial
+    # fallback, so seeded runs reproduce on any machine.
+    eval_batch: BatchEvalConfig = field(default_factory=BatchEvalConfig)
     seed: int = 0
 
 

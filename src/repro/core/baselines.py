@@ -80,6 +80,10 @@ def balanced_chain_placement(graph: CompGraph, cluster: ClusterSpec, k: Optional
     gpus = cluster.gpu_indices
     k = k or len(gpus)
     k = min(k, len(gpus))
+    if graph.num_nodes == 0:
+        return resolve_placement(np.empty(0, dtype=np.int64), graph, cluster)
+    if k <= 1:
+        return resolve_placement(np.full(graph.num_nodes, gpus[0]), graph, cluster)
     cost = CostModel().op_time_matrix(graph, cluster).min(axis=1)
     order = np.asarray(graph.topological_order())
     cum = np.cumsum(cost[order])

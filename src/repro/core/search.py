@@ -146,7 +146,12 @@ def optimize_placement(
         telemetry = owned
     try:
         with use_telemetry(telemetry):
-            env = env or PlacementEnv(graph, cluster, protocol=protocol)
+            env = env or PlacementEnv(
+                graph,
+                cluster,
+                protocol=protocol,
+                batch=getattr(config, "eval_batch", None),
+            )
             agent, pretrain_clock = build_agent(
                 agent_kind, graph, cluster, config, feature_extractor
             )
@@ -162,6 +167,8 @@ def optimize_placement(
             else:
                 final = env.final_run(history.best_placement)
     finally:
+        if env is not None:
+            env.close_pool()  # evaluation workers; restarts lazily if reused
         if owned is not None:
             owned.close()
     return OptimizationResult(

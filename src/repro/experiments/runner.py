@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable all telemetry hooks (in-memory metrics included)",
     )
+    parser.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="placement-evaluation pool size (default: cpu-count-aware; "
+        "results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--serial-eval",
+        action="store_true",
+        help="force the deterministic serial evaluation path (no pool)",
+    )
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -100,6 +113,17 @@ def main(argv=None) -> int:
     config = paper_profile() if args.profile == "paper" else fast_profile(seed=args.seed)
     if args.no_telemetry:
         config = replace(config, telemetry=replace(config.telemetry, enabled=False))
+    if args.serial_eval:
+        config = replace(config, eval_batch=replace(config.eval_batch, mode="serial"))
+    elif args.eval_workers is not None:
+        config = replace(
+            config,
+            eval_batch=replace(
+                config.eval_batch,
+                max_workers=args.eval_workers,
+                mode="process" if args.eval_workers > 1 else "serial",
+            ),
+        )
     ctx = ExperimentContext(
         config=config,
         cache_dir=args.cache_dir,

@@ -10,6 +10,7 @@ the paper's related work (Section 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -33,10 +34,11 @@ class CEMConfig:
 class CEMUpdater:
     """Fit the policy to the elite samples by maximum likelihood."""
 
-    def __init__(self, agent: PolicyAgent, config: CEMConfig = CEMConfig(), seed=None):
+    def __init__(self, agent: PolicyAgent, config: Optional[CEMConfig] = None, seed=None):
         self.agent = agent
-        self.config = config
-        self.optimizer = Adam(agent.parameters(), lr=config.learning_rate)
+        # Fresh default per updater — a shared default instance would alias.
+        self.config = config if config is not None else CEMConfig()
+        self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
 
     def update(self, rollout: AgentRollout, advantages: np.ndarray) -> UpdateStats:
         cfg = self.config

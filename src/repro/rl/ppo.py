@@ -13,7 +13,7 @@ the standard factored-action PPO formulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -45,10 +45,12 @@ class UpdateStats:
 class PPOUpdater:
     """Owns the optimizer and performs the clipped-surrogate updates."""
 
-    def __init__(self, agent: PolicyAgent, config: PPOConfig = PPOConfig(), seed=None):
+    def __init__(self, agent: PolicyAgent, config: Optional[PPOConfig] = None, seed=None):
         self.agent = agent
-        self.config = config
-        self.optimizer = Adam(agent.parameters(), lr=config.learning_rate)
+        # A fresh default per updater: a shared `config=PPOConfig()` default
+        # would alias one instance across every updater in the process.
+        self.config = config if config is not None else PPOConfig()
+        self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
         self.rng = new_rng(seed)
 
     def update(self, rollout: AgentRollout, advantages: np.ndarray) -> UpdateStats:

@@ -5,6 +5,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -23,10 +24,11 @@ class ReinforceConfig:
 class ReinforceUpdater:
     """Single on-policy gradient step per batch of fresh samples."""
 
-    def __init__(self, agent: PolicyAgent, config: ReinforceConfig = ReinforceConfig(), seed=None):
+    def __init__(self, agent: PolicyAgent, config: Optional[ReinforceConfig] = None, seed=None):
         self.agent = agent
-        self.config = config
-        self.optimizer = Adam(agent.parameters(), lr=config.learning_rate)
+        # Fresh default per updater — a shared default instance would alias.
+        self.config = config if config is not None else ReinforceConfig()
+        self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
 
     def update(self, rollout: AgentRollout, advantages: np.ndarray) -> UpdateStats:
         cfg = self.config

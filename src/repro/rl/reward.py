@@ -8,7 +8,7 @@ the baseline is an exponential moving average of rewards
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,8 +37,9 @@ class RewardConfig:
 class RewardTracker:
     """Stateful reward/advantage computation across a training run."""
 
-    def __init__(self, config: RewardConfig = RewardConfig()):
-        self.config = config
+    def __init__(self, config: Optional[RewardConfig] = None):
+        # Fresh default per tracker — a shared default instance would alias.
+        self.config = config if config is not None else RewardConfig()
         self._baseline: float = 0.0
         self._initialized = False
 

@@ -116,12 +116,13 @@ class JointTrainer:
         self,
         agent: PolicyAgent,
         env: PlacementEnv,
-        config: TrainerConfig = TrainerConfig(),
+        config: Optional[TrainerConfig] = None,
         telemetry: Optional[Telemetry] = None,
     ):
         self.agent = agent
         self.env = env
-        self.config = config
+        # Fresh default per trainer — a shared default instance would alias.
+        self.config = config = config if config is not None else TrainerConfig()
         self._telemetry = telemetry  # None -> ambient session at train()
         self.rng = new_rng(config.seed)
         self.tracker = RewardTracker(config.reward)
@@ -152,7 +153,9 @@ class JointTrainer:
             with tel.profile_section("train.sample"):
                 rollout = self.agent.sample(cfg.samples_per_policy, self.rng)
             with tel.profile_section("train.evaluate"):
-                results = [self.env.evaluate(p) for p in rollout.placements]
+                # Batched: dedupe against the result cache, then fan unique
+                # placements across the evaluation pool (sim/batch.py).
+                results = self.env.evaluate_batch(rollout.placements)
             runtimes = [res.per_step_time for res in results]
             _, advantages = self.tracker.compute(runtimes)
             self.buffer.add(rollout, advantages)

@@ -15,9 +15,14 @@ from repro.sim.costmodel import CostModel
 from repro.sim.memory import MemoryModel, MemoryReport
 from repro.sim.scheduler import Scheduler, ScheduleResult
 from repro.sim.measurement import MeasurementProtocol, MeasurementResult
+from repro.sim.batch import BatchEvalConfig, BatchEvaluator, EvalOutcome, PureEvaluator
 from repro.sim.env import PlacementEnv
 
 __all__ = [
+    "BatchEvalConfig",
+    "BatchEvaluator",
+    "EvalOutcome",
+    "PureEvaluator",
     "DeviceSpec",
     "ClusterSpec",
     "Placement",

@@ -1,28 +1,38 @@
 """The placement environment the RL agent interacts with.
 
 Ties together graph, cluster, cost model, memory model, scheduler and
-measurement protocol behind the two calls an agent needs:
+measurement protocol behind the calls an agent needs:
 
 * :meth:`PlacementEnv.evaluate` — measure a proposed placement (with
-  caching, OOM handling and wall-clock accounting), and
+  caching, OOM handling and wall-clock accounting),
+* :meth:`PlacementEnv.evaluate_batch` — measure a whole rollout at once:
+  the batch is deduped against the result cache first, and the remaining
+  unique placements fan out across a worker pool (``sim/batch.py``) with
+  a deterministic serial fallback — results are bit-identical to a
+  sequential loop of ``evaluate`` calls in every mode, and
 * :meth:`PlacementEnv.final_run` — the 1000-step evaluation of the best
   placement reported in the paper's tables.
+
+The per-placement result cache is a bounded LRU (re-measuring an evicted
+placement just costs one more simulated measurement, exactly as on a
+real machine), so long searches hold a fixed amount of memory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph import CompGraph
+from repro.sim.batch import BatchEvalConfig, BatchEvaluator, EvalOutcome, PureEvaluator
 from repro.sim.cluster import ClusterSpec
 from repro.sim.costmodel import CostModel
 from repro.sim.measurement import MeasurementProtocol, MeasurementResult
 from repro.sim.memory import MemoryModel
 from repro.sim.placement import Placement, resolve_placement
-from repro.sim.scheduler import Scheduler
 from repro.telemetry import Telemetry, get_telemetry
 
 
@@ -32,6 +42,7 @@ class EnvStats:
 
     evaluations: int = 0
     cache_hits: int = 0
+    cache_evictions: int = 0
     invalid: int = 0
     truncated: int = 0
     wall_clock: float = 0.0  # simulated seconds spent measuring placements
@@ -48,6 +59,8 @@ class PlacementEnv:
         memory_model: Optional[MemoryModel] = None,
         protocol: Optional[MeasurementProtocol] = None,
         telemetry: Optional[Telemetry] = None,
+        batch: Optional[BatchEvalConfig] = None,
+        cache_capacity: Optional[int] = None,
     ):
         self.graph = graph
         self._telemetry = telemetry  # None -> ambient session per evaluate()
@@ -55,18 +68,29 @@ class PlacementEnv:
         self.cost_model = cost_model or CostModel()
         self.memory_model = memory_model or MemoryModel()
         self.protocol = protocol or MeasurementProtocol()
-        self.scheduler = Scheduler(self.cost_model)
         self.stats = EnvStats()
+        self.batch_config = batch or BatchEvalConfig()
         # Precompute invariants; evaluating a placement is then O(V + E).
-        self._op_times = self.cost_model.op_time_matrix(self.graph, self.cluster)
-        self._order = (
-            np.arange(self.graph.num_nodes)
-            if self.graph.is_topologically_indexed()
-            else np.asarray(self.graph.topological_order())
+        # The pure evaluator owns them so pool workers share the same code
+        # path (and the same precomputed arrays) as the serial one.
+        self._evaluator = PureEvaluator.build(
+            self.graph, self.cluster, self.cost_model, self.memory_model, self.protocol
         )
-        self._mem_per_op = self.memory_model.op_bytes_vector(self.graph)
-        self._capacity = np.array([d.memory for d in self.cluster.devices])
-        self._cache: Dict[bytes, MeasurementResult] = {}
+        self.scheduler = self._evaluator.scheduler
+        self._op_times = self._evaluator.op_times
+        self._order = self._evaluator.order
+        self._mem_per_op = self._evaluator.mem_per_op
+        self._capacity = self._evaluator.capacity
+        self._batcher = BatchEvaluator(self._evaluator, self.batch_config)
+        # Bounded LRU result cache: one entry per unique placement, capped
+        # so long searches hold constant memory (<=0 means unbounded).
+        cap = (
+            cache_capacity
+            if cache_capacity is not None
+            else self.batch_config.cache_capacity
+        )
+        self._cache_capacity = int(cap) if cap and cap > 0 else 0
+        self._cache: "OrderedDict[bytes, MeasurementResult]" = OrderedDict()
 
     # ------------------------------------------------------------------
     @property
@@ -77,6 +101,10 @@ class PlacementEnv:
     def num_ops(self) -> int:
         return self.graph.num_nodes
 
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
     def resolve(self, actions: Sequence[int]) -> Placement:
         return resolve_placement(actions, self.graph, self.cluster)
 
@@ -85,48 +113,56 @@ class PlacementEnv:
         return self.scheduler.run_step(placement, self._op_times, self._order).makespan
 
     def check_memory(self, placement: Placement):
-        usage = np.zeros(self.num_devices)
-        np.add.at(usage, placement.devices, self._mem_per_op)
-        return usage, usage > self._capacity
+        return self._evaluator.memory_usage(placement)
+
+    def close_pool(self) -> None:
+        """Shut down the evaluation worker pool (it restarts lazily)."""
+        self._batcher.shutdown()
 
     # ------------------------------------------------------------------
-    def evaluate(self, actions: Sequence[int]) -> MeasurementResult:
-        """Measure a placement proposed by the agent (cached)."""
-        tel = self._telemetry or get_telemetry()
-        placement = self.resolve(actions)
-        key = placement.devices.tobytes()
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            self.stats.evaluations += 1
-            # Re-measuring a known placement is quick on a real setup too
-            # (no exploration value) — charge only the re-init.
-            self.stats.wall_clock += self.protocol.reinit_cost
-            tel.counter("env.evaluations").inc()
-            tel.counter("env.cache_hits").inc()
-            if tel.sample_events:
-                tel.emit(
-                    "eval",
-                    makespan=float("nan"),
-                    per_step_time=float(cached.per_step_time),
-                    valid=bool(cached.valid),
-                    truncated=bool(cached.truncated),
-                    cached=True,
-                    wall_clock=float(self.protocol.reinit_cost),
-                    sim_clock=float(self.stats.wall_clock),
-                )
-            return cached
+    # Cache (bounded LRU)
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: bytes) -> Optional[MeasurementResult]:
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
 
-        usage, oom = self.check_memory(placement)
-        valid = not bool(oom.any())
-        schedule = (
-            self.scheduler.run_step(placement, self._op_times, self._order)
-            if valid
-            else None
-        )
-        makespan = schedule.makespan if valid else float("inf")
-        result = self.protocol.measure(makespan, valid, hash(placement))
+    def _cache_put(self, key: bytes, result: MeasurementResult, tel: Telemetry) -> None:
         self._cache[key] = result
+        self._cache.move_to_end(key)
+        if self._cache_capacity and len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)
+            self.stats.cache_evictions += 1
+            tel.counter("env.cache_evictions").inc()
+        tel.gauge("env.cache_size").set(len(self._cache))
+
+    # ------------------------------------------------------------------
+    # Bookkeeping shared by evaluate() and evaluate_batch()
+    # ------------------------------------------------------------------
+    def _record_cache_hit(self, cached: MeasurementResult, tel: Telemetry) -> None:
+        self.stats.cache_hits += 1
+        self.stats.evaluations += 1
+        # Re-measuring a known placement is quick on a real setup too
+        # (no exploration value) — charge only the re-init.
+        self.stats.wall_clock += self.protocol.reinit_cost
+        tel.counter("env.evaluations").inc()
+        tel.counter("env.cache_hits").inc()
+        if tel.sample_events:
+            tel.emit(
+                "eval",
+                makespan=float("nan"),
+                per_step_time=float(cached.per_step_time),
+                valid=bool(cached.valid),
+                truncated=bool(cached.truncated),
+                cached=True,
+                wall_clock=float(self.protocol.reinit_cost),
+                sim_clock=float(self.stats.wall_clock),
+            )
+
+    def _record_outcome(self, key: bytes, outcome: EvalOutcome, tel: Telemetry) -> None:
+        result = outcome.result
+        self._cache_put(key, result, tel)
         self.stats.evaluations += 1
         self.stats.wall_clock += result.wall_clock
         if not result.valid:
@@ -135,30 +171,23 @@ class PlacementEnv:
             self.stats.truncated += 1
 
         # Telemetry: makespan breakdown + OOM/cutoff accounting. The
-        # schedule result is a by-product of the measurement, so the extra
-        # cost here is a few scalar reductions per (uncached) evaluation.
+        # schedule breakdown is a by-product of the measurement, so the
+        # extra cost here is a few scalar observations per (uncached)
+        # evaluation.
         tel.counter("env.evaluations").inc()
         tel.histogram("env.measure_wall_s").observe(result.wall_clock)
-        if schedule is not None:
-            utilization = (
-                float(np.mean(schedule.device_busy) / schedule.makespan)
-                if schedule.makespan > 0
-                else 0.0
-            )
-            tel.histogram("env.makespan").observe(schedule.makespan)
-            tel.histogram("env.comm_time").observe(schedule.comm_time)
-            tel.histogram("env.comm_bytes").observe(schedule.comm_bytes)
-            tel.histogram("env.device_utilization").observe(utilization)
+        if result.valid:
+            tel.histogram("env.makespan").observe(outcome.makespan)
+            tel.histogram("env.comm_time").observe(outcome.comm_time)
+            tel.histogram("env.comm_bytes").observe(outcome.comm_bytes)
+            tel.histogram("env.device_utilization").observe(outcome.utilization)
         else:
-            utilization = 0.0
-        if not result.valid:
-            worst = int(np.argmax(usage - self._capacity))
             tel.counter("env.oom").inc()
             tel.emit(
                 "oom",
                 sim_clock=float(self.stats.wall_clock),
-                usage_gb=float(usage[worst] / 2**30),
-                capacity_gb=float(self._capacity[worst] / 2**30),
+                usage_gb=float(outcome.worst_usage / 2**30),
+                capacity_gb=float(outcome.worst_capacity / 2**30),
             )
         if result.truncated:
             tel.counter("env.cutoff").inc()
@@ -171,18 +200,93 @@ class PlacementEnv:
         if tel.sample_events:
             tel.emit(
                 "eval",
-                makespan=float(makespan),
+                makespan=float(outcome.makespan),
                 per_step_time=float(result.per_step_time),
                 valid=bool(result.valid),
                 truncated=bool(result.truncated),
                 cached=False,
                 wall_clock=float(result.wall_clock),
                 sim_clock=float(self.stats.wall_clock),
-                comm_time=float(schedule.comm_time) if schedule else 0.0,
-                comm_bytes=float(schedule.comm_bytes) if schedule else 0.0,
-                device_utilization=utilization,
+                comm_time=float(outcome.comm_time),
+                comm_bytes=float(outcome.comm_bytes),
+                device_utilization=float(outcome.utilization),
             )
-        return result
+
+    # ------------------------------------------------------------------
+    def evaluate(self, actions: Sequence[int]) -> MeasurementResult:
+        """Measure a placement proposed by the agent (cached)."""
+        tel = self._telemetry or get_telemetry()
+        placement = self.resolve(actions)
+        key = placement.devices.tobytes()
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._record_cache_hit(cached, tel)
+            return cached
+        outcome = self._evaluator.compute(placement.devices, hash(placement))
+        self._record_outcome(key, outcome, tel)
+        return outcome.result
+
+    def evaluate_batch(self, actions_batch: Sequence[Sequence[int]]) -> List[MeasurementResult]:
+        """Measure a batch of placements; equivalent to — but faster than —
+        ``[self.evaluate(a) for a in actions_batch]``.
+
+        Three phases:
+
+        1. **Dedupe.** Resolve every placement and drop batch entries whose
+           key is already cached or duplicates an earlier entry, *before*
+           any scheduling work.
+        2. **Compute.** Fan the unique placements out across the worker
+           pool (or the serial fallback) — pure compute, no shared state.
+        3. **Apply.** Replay the batch in its original order against the
+           cache/stats/telemetry, mirroring what a sequential loop of
+           ``evaluate`` calls would have done step by step.
+        """
+        tel = self._telemetry or get_telemetry()
+        placements = [self.resolve(a) for a in actions_batch]
+        keys = [p.devices.tobytes() for p in placements]
+
+        jobs: List[Tuple[np.ndarray, int]] = []
+        job_index = {}
+        for placement, key in zip(placements, keys):
+            if key in self._cache or key in job_index:
+                continue
+            job_index[key] = len(jobs)
+            jobs.append((placement.devices, hash(placement)))
+
+        outcomes, pool_workers = self._batcher.compute_many(jobs)
+
+        results: List[MeasurementResult] = []
+        for placement, key in zip(placements, keys):
+            cached = self._cache_get(key)
+            if cached is not None:
+                self._record_cache_hit(cached, tel)
+                results.append(cached)
+                continue
+            index = job_index.get(key)
+            if index is None:
+                # The key was cached during phase 1 but evicted by the
+                # apply loop's own inserts — recompute, exactly as the
+                # sequential path would have after the same eviction.
+                outcome = self._evaluator.compute(placement.devices, hash(placement))
+            else:
+                outcome = outcomes[index]
+            self._record_outcome(key, outcome, tel)
+            results.append(outcome.result)
+
+        n = len(placements)
+        if n:
+            unique = len(jobs)
+            tel.counter("env.batches").inc()
+            tel.histogram("env.batch_size").observe(n)
+            tel.histogram("env.batch_dedupe_rate").observe(1.0 - unique / n)
+            tel.gauge("env.eval_pool_workers").set(pool_workers)
+            if pool_workers and unique:
+                # Fraction of pool slots busy across the batch's waves.
+                waves = -(-unique // pool_workers)  # ceil division
+                tel.histogram("env.batch_pool_utilization").observe(
+                    unique / (waves * pool_workers)
+                )
+        return results
 
     def final_run(self, actions: Sequence[int], steps: int = 1000) -> float:
         """Per-step runtime of the final placement over a long run."""

@@ -108,3 +108,23 @@ class TestChainAndPartitioner:
         p = round_robin_groups_placement(inception, cluster, 12)
         used = {p.device_of(i) for i in range(inception.num_nodes)}
         assert len(used & set(cluster.gpu_indices)) == 4
+
+    def test_balanced_chain_empty_graph(self, cluster):
+        from repro.graph import CompGraph
+
+        p = balanced_chain_placement(CompGraph("empty"), cluster)
+        assert p.devices.shape == (0,)
+
+    def test_balanced_chain_k1_single_gpu(self, inception, cluster):
+        p = balanced_chain_placement(inception, cluster, k=1)
+        non_cpu = [i for i, n in enumerate(inception.nodes) if not n.cpu_only]
+        first_gpu = cluster.gpu_indices[0]
+        assert non_cpu and all(p.device_of(i) == first_gpu for i in non_cpu)
+
+    def test_balanced_chain_single_node_graph(self, cluster):
+        from repro.graph import CompGraph, OpNode
+
+        g = CompGraph("one")
+        g.add_node(OpNode("only", "MatMul", (4, 4), flops=1e6))
+        p = balanced_chain_placement(g, cluster, k=4)
+        assert p.device_of(0) in cluster.gpu_indices

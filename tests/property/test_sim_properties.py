@@ -110,3 +110,39 @@ def test_scheduler_deterministic(case):
     g, devices = case
     placement = Placement(devices, g, CLUSTER)
     assert SCHED.run_step(placement).makespan == SCHED.run_step(placement).makespan
+
+
+@given(dag_and_placement())
+@settings(max_examples=40, deadline=None)
+def test_run_step_deterministic_and_lower_bounded(case):
+    """Identical placements (even separately constructed, with or without
+    precomputed op-times) give the same makespan, and that makespan never
+    beats the critical-path lower bound."""
+    g, devices = case
+    a = SCHED.run_step(Placement(devices, g, CLUSTER))
+    op_times = SCHED.cost_model.op_time_matrix(g, CLUSTER)
+    b = SCHED.run_step(Placement(devices.copy(), g, CLUSTER), op_times)
+    assert a.makespan == b.makespan
+    assert a.makespan >= SCHED.lower_bound(g, CLUSTER) - 1e-9
+
+
+@given(dag_and_placement(), st.integers(2, 8))
+@settings(max_examples=25, deadline=None)
+def test_evaluate_batch_matches_sequential(case, n_samples):
+    """evaluate_batch == a sequential evaluate loop: same results, same
+    cache contents, same EnvStats totals — including in-batch duplicates."""
+    from repro.sim import BatchEvalConfig, PlacementEnv
+
+    g, devices = case
+    rng = np.random.default_rng(devices.sum() if devices.size else 0)
+    batch = [rng.integers(0, CLUSTER.num_devices, g.num_nodes) for _ in range(n_samples)]
+    batch.append(batch[0].copy())  # guaranteed duplicate
+
+    seq_env = PlacementEnv(g, CLUSTER)
+    batch_env = PlacementEnv(g, CLUSTER, batch=BatchEvalConfig(mode="serial"))
+    sequential = [seq_env.evaluate(a) for a in batch]
+    batched = batch_env.evaluate_batch(batch)
+
+    assert batched == sequential
+    assert batch_env.stats == seq_env.stats
+    assert list(batch_env._cache.keys()) == list(seq_env._cache.keys())

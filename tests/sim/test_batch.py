@@ -1,0 +1,256 @@
+"""Tests for batched placement evaluation and the bounded result cache."""
+
+import numpy as np
+import pytest
+
+from repro.sim import BatchEvalConfig, ClusterSpec, PlacementEnv
+from repro.sim.batch import BatchEvaluator, PureEvaluator
+from repro.telemetry import Telemetry
+from tests.helpers import tiny_graph
+
+CLUSTER = ClusterSpec.default()
+
+
+def random_batch(graph, n=8, seed=0, duplicates=True):
+    rng = np.random.default_rng(seed)
+    batch = [rng.integers(0, CLUSTER.num_devices, graph.num_nodes) for _ in range(n)]
+    if duplicates and n >= 2:
+        batch[-1] = batch[0].copy()
+    return batch
+
+
+class TestBatchEquivalence:
+    """evaluate_batch must be indistinguishable from sequential evaluate."""
+
+    def test_results_stats_and_cache_match_sequential(self):
+        g = tiny_graph()
+        batch = random_batch(g, n=10)
+        seq_env = PlacementEnv(g, CLUSTER)
+        batch_env = PlacementEnv(g, CLUSTER, batch=BatchEvalConfig(mode="serial"))
+
+        sequential = [seq_env.evaluate(a) for a in batch]
+        batched = batch_env.evaluate_batch(batch)
+
+        assert batched == sequential
+        assert [r.per_step_time for r in batched] == [r.per_step_time for r in sequential]
+        assert batch_env.stats == seq_env.stats
+        assert list(batch_env._cache.keys()) == list(seq_env._cache.keys())
+
+    def test_thread_pool_matches_serial(self):
+        g = tiny_graph()
+        batch = random_batch(g, n=6)
+        serial_env = PlacementEnv(g, CLUSTER, batch=BatchEvalConfig(mode="serial"))
+        pool_env = PlacementEnv(
+            g,
+            CLUSTER,
+            batch=BatchEvalConfig(mode="thread", max_workers=3, min_parallel=1, min_ops_parallel=0),
+        )
+        try:
+            assert pool_env.evaluate_batch(batch) == serial_env.evaluate_batch(batch)
+            assert pool_env.stats == serial_env.stats
+        finally:
+            pool_env.close_pool()
+
+    def test_process_pool_matches_serial(self):
+        g = tiny_graph()
+        batch = random_batch(g, n=6)
+        serial_env = PlacementEnv(g, CLUSTER, batch=BatchEvalConfig(mode="serial"))
+        pool_env = PlacementEnv(
+            g,
+            CLUSTER,
+            batch=BatchEvalConfig(mode="process", max_workers=2, min_parallel=1, min_ops_parallel=0),
+        )
+        try:
+            assert pool_env.evaluate_batch(batch) == serial_env.evaluate_batch(batch)
+            assert pool_env.stats == serial_env.stats
+            # A second batch reuses the warm pool and the shared cache.
+            batch2 = random_batch(g, n=6, seed=1)
+            assert pool_env.evaluate_batch(batch2) == serial_env.evaluate_batch(batch2)
+            assert pool_env.stats == serial_env.stats
+        finally:
+            pool_env.close_pool()
+
+    def test_in_batch_duplicates_hit_cache(self):
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER)
+        actions = np.zeros(g.num_nodes, dtype=int)
+        results = env.evaluate_batch([actions, actions.copy(), actions.copy()])
+        assert env.stats.evaluations == 3
+        assert env.stats.cache_hits == 2
+        assert results[0] == results[1] == results[2]
+
+    def test_cross_batch_cache_reuse(self):
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER)
+        batch = random_batch(g, n=4, duplicates=False)
+        env.evaluate_batch(batch)
+        wall = env.stats.wall_clock
+        env.evaluate_batch(batch)
+        assert env.stats.cache_hits == 4
+        # Repeats cost only re-initialization.
+        assert env.stats.wall_clock == pytest.approx(
+            wall + 4 * env.protocol.reinit_cost
+        )
+
+    def test_empty_batch(self):
+        env = PlacementEnv(tiny_graph(), CLUSTER)
+        assert env.evaluate_batch([]) == []
+        assert env.stats.evaluations == 0
+
+    def test_oom_placements_match_sequential(self):
+        g = tiny_graph()
+        g.nodes[1].param_bytes = 50 * 2**30
+        seq_env = PlacementEnv(g, CLUSTER)
+        batch_env = PlacementEnv(g, CLUSTER)
+        batch = random_batch(g, n=5)
+        assert batch_env.evaluate_batch(batch) == [seq_env.evaluate(a) for a in batch]
+        assert batch_env.stats.invalid == seq_env.stats.invalid > 0
+
+
+class TestBatchTelemetry:
+    def test_batch_metrics_recorded(self):
+        tel = Telemetry(name="test")
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER, telemetry=tel)
+        env.evaluate_batch(random_batch(g, n=8))  # one duplicate -> dedupe
+        snap = tel.metrics.snapshot()
+        assert snap["counters"]["env.batches"]["value"] == 1
+        assert snap["histograms"]["env.batch_size"]["count"] == 1
+        assert snap["histograms"]["env.batch_size"]["max"] == 8.0
+        dedupe = snap["histograms"]["env.batch_dedupe_rate"]
+        assert dedupe["max"] == pytest.approx(1 / 8)
+        assert snap["gauges"]["env.cache_size"]["value"] == 7.0
+
+    def test_pool_utilization_recorded(self):
+        tel = Telemetry(name="test")
+        g = tiny_graph()
+        env = PlacementEnv(
+            g,
+            CLUSTER,
+            telemetry=tel,
+            batch=BatchEvalConfig(mode="thread", max_workers=4, min_parallel=1, min_ops_parallel=0),
+        )
+        try:
+            env.evaluate_batch(random_batch(g, n=9, duplicates=False))
+            snap = tel.metrics.snapshot()
+            assert snap["gauges"]["env.eval_pool_workers"]["value"] == 4.0
+            util = snap["histograms"]["env.batch_pool_utilization"]
+            assert util["count"] == 1
+            # 9 unique jobs over 4 workers -> 3 waves of 4 slots.
+            assert util["max"] == pytest.approx(9 / 12)
+        finally:
+            env.close_pool()
+
+
+class TestBoundedCache:
+    def test_cache_never_exceeds_capacity(self):
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER, cache_capacity=4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            env.evaluate(rng.integers(0, CLUSTER.num_devices, g.num_nodes))
+        assert env.cache_size <= 4
+        assert env.stats.cache_evictions > 0
+
+    def test_lru_keeps_recent_entries(self):
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER, cache_capacity=2)
+        a = np.zeros(g.num_nodes, dtype=int)
+        b = np.ones(g.num_nodes, dtype=int)
+        c = np.full(g.num_nodes, 2)
+        env.evaluate(a)
+        env.evaluate(b)
+        env.evaluate(a)  # refresh a -> b is now least recently used
+        env.evaluate(c)  # evicts b
+        hits = env.stats.cache_hits
+        env.evaluate(a)
+        assert env.stats.cache_hits == hits + 1
+        env.evaluate(b)  # evicted: recomputed, not a hit
+        assert env.stats.cache_hits == hits + 1
+
+    def test_evicted_entry_remeasures_identically(self):
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER, cache_capacity=1)
+        a = np.zeros(g.num_nodes, dtype=int)
+        first = env.evaluate(a)
+        env.evaluate(np.ones(g.num_nodes, dtype=int))  # evicts a
+        again = env.evaluate(a)
+        assert again == first  # measurement noise is a function of the placement
+
+    def test_zero_capacity_means_unbounded(self):
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER, cache_capacity=0)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            env.evaluate(rng.integers(0, CLUSTER.num_devices, g.num_nodes))
+        assert env.stats.cache_evictions == 0
+
+    def test_cache_size_gauge_tracks_evictions(self):
+        tel = Telemetry(name="test")
+        g = tiny_graph()
+        env = PlacementEnv(g, CLUSTER, telemetry=tel, cache_capacity=3)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            env.evaluate(rng.integers(0, CLUSTER.num_devices, g.num_nodes))
+        snap = tel.metrics.snapshot()
+        assert snap["gauges"]["env.cache_size"]["value"] <= 3.0
+        assert snap["counters"]["env.cache_evictions"]["value"] == env.stats.cache_evictions
+
+
+class TestBatchEvaluatorInternals:
+    def _evaluator(self, g):
+        env = PlacementEnv(g, CLUSTER)
+        return env._evaluator
+
+    def test_serial_fallback_for_small_batches(self):
+        g = tiny_graph()
+        ev = BatchEvaluator(self._evaluator(g), BatchEvalConfig(mode="auto", max_workers=4))
+        # Below min_parallel and below min_ops_parallel -> serial.
+        assert ev._pick_mode(2) == "serial"
+        assert ev._pick_mode(10) == "serial"  # graph too small for auto
+
+    def test_auto_uses_pool_on_big_graphs(self):
+        g = tiny_graph()
+        cfg = BatchEvalConfig(mode="auto", max_workers=4, min_parallel=4, min_ops_parallel=1)
+        ev = BatchEvaluator(self._evaluator(g), cfg)
+        assert ev._pick_mode(10) == "process"
+        assert ev._pick_mode(2) == "serial"
+
+    def test_single_worker_is_serial(self):
+        g = tiny_graph()
+        ev = BatchEvaluator(self._evaluator(g), BatchEvalConfig(mode="process", max_workers=1))
+        assert ev._pick_mode(10) == "serial"
+
+    def test_broken_pool_degrades_to_serial(self):
+        g = tiny_graph()
+        cfg = BatchEvalConfig(mode="thread", max_workers=2, min_parallel=1, min_ops_parallel=0)
+        ev = BatchEvaluator(self._evaluator(g), cfg)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("pool refused")
+
+        ev._ensure_executor = boom
+        jobs = [(np.zeros(g.num_nodes, dtype=np.int64), 1)]
+        outcomes, workers = ev.compute_many(jobs + jobs)
+        assert workers == 0 and len(outcomes) == 2
+        assert ev._pool_broken
+        assert ev._pick_mode(10) == "serial"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BatchEvalConfig(mode="gpu")
+
+    def test_resolved_workers_cpu_aware(self):
+        assert BatchEvalConfig().resolved_workers() >= 1
+        assert BatchEvalConfig(max_workers=6).resolved_workers() == 6
+        assert BatchEvalConfig(max_workers=0).resolved_workers() == 1
+
+    def test_pure_evaluator_is_picklable(self):
+        import pickle
+
+        ev = self._evaluator(tiny_graph())
+        clone = pickle.loads(pickle.dumps(ev))
+        devices = np.zeros(tiny_graph().num_nodes, dtype=np.int64)
+        a = ev.compute(devices, 123)
+        b = clone.compute(devices, 123)
+        assert a.result == b.result and a.makespan == b.makespan
