@@ -1,9 +1,9 @@
-.PHONY: install test lint-docs bench bench-smoke experiments examples clean
+.PHONY: install test lint-docs bench bench-smoke report-smoke experiments examples clean
 
 install:
 	pip install -e .
 
-test: lint-docs bench-smoke
+test: lint-docs bench-smoke report-smoke
 	pytest tests/
 
 lint-docs:
@@ -16,6 +16,11 @@ bench:
 # proves the pool + serial paths agree on every `make test`.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_batch_eval.py --smoke
+
+# Tiny telemetry run -> full report with --health/--attribution -> exit 0:
+# proves the report pipeline renders real run directories on every `make test`.
+report-smoke:
+	PYTHONPATH=src python tools/report_smoke.py
 
 experiments:
 	python -m repro.experiments.runner all --cache-dir benchmarks/.mars_cache

@@ -8,12 +8,15 @@ analysis, ASCII timelines, and CSV export of search curves.
 from repro.analysis.report import PlacementReport, analyze_placement, run_directory_report
 from repro.analysis.timeline import DeviceTimeline, build_timeline, render_timeline
 from repro.analysis.critical_path import critical_path, critical_path_ops
+from repro.analysis.attribution import render_attribution, render_attribution_event
 from repro.analysis.export import curves_to_csv, history_to_rows
 from repro.analysis.trace import events_to_chrome_trace, placement_to_chrome_trace
 
 __all__ = [
     "placement_to_chrome_trace",
     "events_to_chrome_trace",
+    "render_attribution",
+    "render_attribution_event",
     "PlacementReport",
     "analyze_placement",
     "run_directory_report",

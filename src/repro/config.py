@@ -17,7 +17,7 @@ from repro.rl.ppo import PPOConfig
 from repro.rl.reward import RewardConfig
 from repro.rl.trainer import TrainerConfig
 from repro.sim.batch import BatchEvalConfig
-from repro.telemetry import TelemetryConfig
+from repro.telemetry import HealthConfig, TelemetryConfig
 
 
 @dataclass
@@ -67,6 +67,12 @@ class MarsConfig:
     # JSONL event log + manifest per ``optimize_placement`` call, or
     # ``telemetry.enabled = False`` to turn every hook into a no-op.
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    # Training-health watchdog (docs/observability.md §"Alert taxonomy"):
+    # sliding-window detectors over the trainer's update/iteration streams
+    # (NaN guard, entropy collapse, KL blow-up, reward plateau, invalid-
+    # placement-rate spike). ``action`` picks log/warn/halt; the runner
+    # exposes it as ``--health``/``--no-health``.
+    health: HealthConfig = field(default_factory=HealthConfig)
     # Batched placement evaluation (docs/architecture.md §2): how
     # ``PlacementEnv.evaluate_batch`` spreads a rollout's measurements
     # over workers, and the bound on the environment's result cache.

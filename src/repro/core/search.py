@@ -156,8 +156,17 @@ def optimize_placement(
                 agent_kind, graph, cluster, config, feature_extractor
             )
             history = SearchHistory(pretrain_clock=pretrain_clock)
-            trainer = JointTrainer(agent, env, config.trainer)
+            trainer = JointTrainer(
+                agent, env, config.trainer, health=getattr(config, "health", None)
+            )
             history = trainer.train(history)
+            if history.halt_reason is not None:
+                logger.warning(
+                    "%s/%s halted by health watchdog: %s",
+                    graph.name,
+                    agent_kind,
+                    history.halt_reason,
+                )
 
             if history.best_placement is None:
                 logger.warning(

@@ -90,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable all telemetry hooks (in-memory metrics included)",
     )
     parser.add_argument(
+        "--health",
+        choices=["log", "warn", "halt"],
+        default=None,
+        metavar="ACTION",
+        help="training-health watchdog action on alerts (log|warn|halt; "
+        "default: warn — see docs/observability.md, 'Alert taxonomy')",
+    )
+    parser.add_argument(
+        "--no-health",
+        action="store_true",
+        help="disable the training-health watchdog entirely",
+    )
+    parser.add_argument(
         "--eval-workers",
         type=int,
         default=None,
@@ -113,6 +126,10 @@ def main(argv=None) -> int:
     config = paper_profile() if args.profile == "paper" else fast_profile(seed=args.seed)
     if args.no_telemetry:
         config = replace(config, telemetry=replace(config.telemetry, enabled=False))
+    if args.no_health:
+        config = replace(config, health=replace(config.health, enabled=False))
+    elif args.health is not None:
+        config = replace(config, health=replace(config.health, action=args.health))
     if args.serial_eval:
         config = replace(config, eval_batch=replace(config.eval_batch, mode="serial"))
     elif args.eval_workers is not None:

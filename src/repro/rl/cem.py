@@ -48,15 +48,20 @@ class CEMUpdater:
         elite = rollout.subset(elite_idx)
 
         logp, entropy = self.agent.evaluate(elite.internal)
-        loss = -(logp.mean()) - cfg.entropy_coef * entropy.mean()
+        policy_loss = -(logp.mean())
+        loss = policy_loss - cfg.entropy_coef * entropy.mean()
         self.optimizer.zero_grad()
         loss.backward()
         norm = clip_grad_norm(self.agent.parameters(), cfg.grad_clip_norm)
         self.optimizer.step()
+        # Unified health fields (see ReinforceUpdater.update): policy_loss
+        # excludes the entropy bonus; approx_kl is the drift on the elite
+        # decisions since they were sampled.
         return UpdateStats(
-            policy_loss=float(loss.item()),
+            policy_loss=float(policy_loss.item()),
             entropy=float(entropy.data.mean()),
-            clip_fraction=0.0,
+            clip_fraction=0.0,  # CEM fits by maximum likelihood, no clipping
+            approx_kl=float(np.mean(elite.old_logp - logp.data)),
             grad_norm=norm,
             passes=1,
         )

@@ -34,15 +34,21 @@ class ReinforceUpdater:
         cfg = self.config
         adv = advantages[:, None]
         logp, entropy = self.agent.evaluate(rollout.internal)
-        loss = -((logp * adv).mean()) - cfg.entropy_coef * entropy.mean()
+        policy_loss = -((logp * adv).mean())
+        loss = policy_loss - cfg.entropy_coef * entropy.mean()
         self.optimizer.zero_grad()
         loss.backward()
         norm = clip_grad_norm(self.agent.parameters(), cfg.grad_clip_norm)
         self.optimizer.step()
+        # Unified health fields (consumed by the telemetry watchdog):
+        # policy_loss excludes the entropy bonus, matching PPO, and
+        # approx_kl measures how far the policy has drifted since the
+        # buffered samples were drawn (0 for a purely fresh batch).
         return UpdateStats(
-            policy_loss=float(loss.item()),
+            policy_loss=float(policy_loss.item()),
             entropy=float(entropy.data.mean()),
-            clip_fraction=0.0,
+            clip_fraction=0.0,  # no clipping in vanilla REINFORCE
+            approx_kl=float(np.mean(rollout.old_logp - logp.data)),
             grad_norm=norm,
             passes=1,
         )

@@ -29,6 +29,7 @@ from repro.rl.reinforce import ReinforceConfig, ReinforceUpdater
 from repro.rl.reward import RewardConfig, RewardTracker
 from repro.sim.env import PlacementEnv
 from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry.health import HealthConfig, HealthWatchdog
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 
@@ -64,6 +65,8 @@ class SearchHistory:
     best_placement: Optional[np.ndarray] = None
     sim_clock: float = 0.0  # simulated seconds (environment + agent compute)
     pretrain_clock: float = 0.0
+    #: Set when the health watchdog stopped the run ("<detector>: <why>").
+    halt_reason: Optional[str] = None
 
     @property
     def total_samples(self) -> int:
@@ -118,12 +121,16 @@ class JointTrainer:
         env: PlacementEnv,
         config: Optional[TrainerConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        health: Optional[HealthConfig] = None,
     ):
         self.agent = agent
         self.env = env
         # Fresh default per trainer — a shared default instance would alias.
         self.config = config = config if config is not None else TrainerConfig()
         self._telemetry = telemetry  # None -> ambient session at train()
+        # Fresh default per trainer, same aliasing rationale as config.
+        self.health = health if health is not None else HealthConfig()
+        self.watchdog: Optional[HealthWatchdog] = None  # built per train()
         self.rng = new_rng(config.seed)
         self.tracker = RewardTracker(config.reward)
         self.buffer = RolloutBuffer(config.buffer_capacity)
@@ -146,6 +153,8 @@ class JointTrainer:
         env_clock_start = self.env.stats.wall_clock
         samples = history.total_samples
         samples_since_best = 0
+        self.watchdog = watchdog = HealthWatchdog(self.health, telemetry=tel)
+        attributed_best = False  # best placement already attributed?
 
         for it in range(cfg.iterations):
             it_index = len(history.records)
@@ -185,7 +194,14 @@ class JointTrainer:
                         improved = True
                     history.best_runtime = res.per_step_time
                     history.best_placement = placement.copy()
+                    attributed_best = False
             samples_since_best = 0 if improved else samples_since_best + len(results)
+            if improved and history.best_placement is not None:
+                # Explain each significantly-improved best placement:
+                # one traced scheduler pass -> `attribution` event +
+                # env.critical_path_* gauges (docs/observability.md).
+                self.env.record_attribution(history.best_placement, iteration=it_index)
+                attributed_best = True
 
             agent_seconds = 0.0
             if self.buffer.is_ready(cfg.update_min_samples):
@@ -213,6 +229,7 @@ class JointTrainer:
                     grad_norm=float(stats.grad_norm),
                     passes=int(stats.passes),
                 )
+                watchdog.observe_update(it_index, stats)
 
             # The env clock is cumulative; fold in this iteration's delta.
             delta_env = self.env.stats.wall_clock - env_clock_start
@@ -265,9 +282,33 @@ class JointTrainer:
                     record.baseline,
                     record.n_invalid,
                 )
+            watchdog.observe_iteration(
+                it_index,
+                best_runtime=history.best_runtime,
+                n_invalid=record.n_invalid,
+                n_samples=len(results),
+            )
+            if watchdog.halted:
+                history.halt_reason = watchdog.halt_reason
+                tel.update_manifest(halted=True, halt_reason=watchdog.halt_reason)
+                logger.error(
+                    "[%s] health watchdog halted the run at iteration %d: %s",
+                    self.env.graph.name,
+                    it + 1,
+                    watchdog.halt_reason,
+                )
+                break
             if cfg.early_stop_samples is not None and samples >= cfg.early_stop_samples:
                 break
             if cfg.patience_samples is not None and samples_since_best >= cfg.patience_samples:
                 logger.info("early stop: no improvement in %d samples", samples_since_best)
                 break
+        if history.best_placement is not None and not attributed_best:
+            # The run ended on a best found before this train() call (or on
+            # a sub-threshold trickle improvement): still leave one final
+            # best-placement attribution event for the report CLI.
+            self.env.record_attribution(
+                history.best_placement,
+                iteration=history.records[-1].iteration if history.records else -1,
+            )
         return history

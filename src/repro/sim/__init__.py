@@ -13,12 +13,23 @@ from repro.sim.cluster import ClusterSpec
 from repro.sim.placement import Placement, resolve_placement
 from repro.sim.costmodel import CostModel
 from repro.sim.memory import MemoryModel, MemoryReport
-from repro.sim.scheduler import Scheduler, ScheduleResult
+from repro.sim.scheduler import Scheduler, ScheduleResult, TransferRecord
+from repro.sim.attribution import (
+    PathSegment,
+    PlacementAttribution,
+    attribute_schedule,
+    coalesce_intervals,
+)
 from repro.sim.measurement import MeasurementProtocol, MeasurementResult
 from repro.sim.batch import BatchEvalConfig, BatchEvaluator, EvalOutcome, PureEvaluator
 from repro.sim.env import PlacementEnv
 
 __all__ = [
+    "PathSegment",
+    "PlacementAttribution",
+    "attribute_schedule",
+    "coalesce_intervals",
+    "TransferRecord",
     "BatchEvalConfig",
     "BatchEvaluator",
     "EvalOutcome",

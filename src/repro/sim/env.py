@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph import CompGraph
+from repro.sim.attribution import PlacementAttribution, attribute_schedule
 from repro.sim.batch import BatchEvalConfig, BatchEvaluator, EvalOutcome, PureEvaluator
 from repro.sim.cluster import ClusterSpec
 from repro.sim.costmodel import CostModel
@@ -114,6 +115,42 @@ class PlacementEnv:
 
     def check_memory(self, placement: Placement):
         return self._evaluator.memory_usage(placement)
+
+    # ------------------------------------------------------------------
+    # Attribution (docs/observability.md §"Placement attribution")
+    # ------------------------------------------------------------------
+    def attribute(self, actions: Sequence[int]) -> PlacementAttribution:
+        """Full diagnostic breakdown of a placement's step time.
+
+        Pure analysis — no measurement noise, no wall-clock charge, no
+        cache interaction. Runs one traced scheduler pass.
+        """
+        placement = self.resolve(actions)
+        schedule = self.scheduler.run_step(
+            placement, self._op_times, self._order, trace=True
+        )
+        return attribute_schedule(placement, schedule)
+
+    def record_attribution(
+        self, actions: Sequence[int], iteration: int = -1
+    ) -> PlacementAttribution:
+        """Attribute a placement and record the result into telemetry.
+
+        Sets the ``env.critical_path_time`` / ``env.critical_path_ops`` /
+        ``env.comm_bound_fraction`` gauges and emits one schema-versioned
+        ``attribution`` event (the report CLI's ``--attribution`` section
+        renders the latest one). The trainer calls this for each
+        significantly-improved best placement.
+        """
+        tel = self._telemetry or get_telemetry()
+        attr = self.attribute(actions)
+        tel.gauge("env.critical_path_time").set(attr.critical_path_time)
+        tel.gauge("env.critical_path_ops").set(
+            sum(1 for s in attr.path if s.kind == "op")
+        )
+        tel.gauge("env.comm_bound_fraction").set(attr.comm_bound_fraction)
+        tel.emit("attribution", **attr.event_payload(self.graph, iteration=iteration))
+        return attr
 
     def close_pool(self) -> None:
         """Shut down the evaluation worker pool (it restarts lazily)."""

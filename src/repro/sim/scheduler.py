@@ -27,6 +27,18 @@ from repro.sim.costmodel import CostModel
 from repro.sim.placement import Placement
 
 
+@dataclass(frozen=True)
+class TransferRecord:
+    """One inter-device tensor shipment (recorded when tracing)."""
+
+    producer: int  # op whose output was shipped
+    src: int  # device the tensor left
+    dst: int  # device the tensor arrived on
+    start: float  # link occupation start (after any queueing)
+    end: float  # arrival time on dst
+    nbytes: float
+
+
 @dataclass
 class ScheduleResult:
     """Outcome of simulating one training step."""
@@ -37,6 +49,7 @@ class ScheduleResult:
     comm_time: float  # total seconds spent on links
     comm_bytes: float  # total bytes shipped between devices
     start_times: Optional[np.ndarray] = None  # per-op start (for timelines)
+    transfers: Optional[List[TransferRecord]] = None  # only with trace=True
 
     @property
     def critical_path_bound(self) -> float:
@@ -54,6 +67,7 @@ class Scheduler:
         placement: Placement,
         op_times: Optional[np.ndarray] = None,
         order: Optional[np.ndarray] = None,
+        trace: bool = False,
     ) -> ScheduleResult:
         """Simulate one training step; returns the makespan and stats.
 
@@ -69,6 +83,12 @@ class Scheduler:
         across the thousands of placements an RL run evaluates. ``order``
         is accepted for API compatibility but unused (execution order is
         dependency-driven).
+
+        ``trace=True`` additionally records every inter-device shipment as
+        a :class:`TransferRecord` on ``ScheduleResult.transfers`` — the
+        input the attribution engine (``sim/attribution.py``) needs to
+        reconstruct the realized critical path. The hot RL path leaves it
+        off; the record list is the only extra work.
         """
         graph, cluster = placement.graph, placement.cluster
         n = graph.num_nodes
@@ -79,6 +99,8 @@ class Scheduler:
                 device_busy=np.zeros(cluster.num_devices),
                 comm_time=0.0,
                 comm_bytes=0.0,
+                start_times=np.zeros(0),
+                transfers=[] if trace else None,
             )
         if op_times is None:
             op_times = self.cost_model.op_time_matrix(graph, cluster)
@@ -95,6 +117,7 @@ class Scheduler:
         remaining = graph.in_degrees().copy()
         comm_time = 0.0
         comm_bytes = 0.0
+        transfers: Optional[List[TransferRecord]] = [] if trace else None
 
         # Event heap entries: (time, seq, kind, payload). kind 0 = op done,
         # kind 1 = tensor arrival (payload = (producer, dst_device)).
@@ -158,6 +181,17 @@ class Scheduler:
                             link_free[link] = start + duration
                             comm_time += duration
                             comm_bytes += nbytes
+                            if transfers is not None:
+                                transfers.append(
+                                    TransferRecord(
+                                        producer=op,
+                                        src=dev,
+                                        dst=dst,
+                                        start=start,
+                                        end=start + duration,
+                                        nbytes=nbytes,
+                                    )
+                                )
                             heapq.heappush(events, (start + duration, seq, 1, key))
                             seq += 1
                 try_start(dev, now)
@@ -179,6 +213,7 @@ class Scheduler:
             comm_time=comm_time,
             comm_bytes=comm_bytes,
             start_times=starts,
+            transfers=transfers,
         )
 
     def lower_bound(self, graph: CompGraph, cluster: ClusterSpec) -> float:

@@ -52,11 +52,15 @@ from repro.telemetry.events import (
     read_events,
     validate_event,
 )
+from repro.telemetry.health import HealthAlert, HealthConfig, HealthWatchdog
 from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
 
 __all__ = [
     "SCHEMA_VERSION",
     "EVENT_SCHEMAS",
+    "HealthAlert",
+    "HealthConfig",
+    "HealthWatchdog",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "RunLogger",
@@ -155,6 +159,27 @@ class Telemetry:
         }
         manifest.update(extra)
         path = os.path.join(self.run_dir, "manifest.json")
+        with open(path, "w") as fh:
+            json.dump(manifest, fh, indent=2, default=str)
+        return path
+
+    def update_manifest(self, **extra) -> Optional[str]:
+        """Merge ``extra`` into an existing ``manifest.json`` (if any).
+
+        Used for facts only known mid-run — e.g. the health watchdog's
+        halt reason. A no-op for memory-only sessions.
+        """
+        if not self.run_dir:
+            return None
+        path = os.path.join(self.run_dir, "manifest.json")
+        manifest = {}
+        if os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    manifest = json.load(fh)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                manifest = {}
+        manifest.update(extra)
         with open(path, "w") as fh:
             json.dump(manifest, fh, indent=2, default=str)
         return path

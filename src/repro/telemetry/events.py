@@ -87,6 +87,32 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     },
     "oom": {"sim_clock": _NUM, "usage_gb": _NUM, "capacity_gb": _NUM},
     "cutoff": {"sim_clock": _NUM, "per_step_time": _NUM, "steps_run": _INT},
+    # Health watchdog (repro.telemetry.health) --------------------------
+    "alert": {
+        "detector": _STR,
+        "action": _STR,  # log | warn | halt
+        "iteration": _INT,
+        "value": _NUM,  # the observed statistic that tripped the detector
+        "threshold": _NUM,
+        "window": _INT,  # observations the statistic was computed over
+        "message": _STR,
+    },
+    # Placement attribution (repro.sim.attribution via PlacementEnv) ----
+    # Carries the JSON payload of PlacementAttribution.event_payload:
+    # besides the scalars below, `devices` (busy/idle/intervals per
+    # device), `top_ops` and `traffic_bytes` ride along as optional
+    # structured fields.
+    "attribution": {
+        "iteration": _INT,  # -1 when not tied to a policy iteration
+        "makespan": _NUM,
+        "critical_path_time": _NUM,
+        "comm_bound_fraction": _NUM,
+        "utilization": _NUM,
+        "comm_time": _NUM,
+        "comm_bytes": _NUM,
+        "path_ops": _INT,
+        "path_comms": _INT,
+    },
 }
 
 

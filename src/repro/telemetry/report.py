@@ -5,12 +5,18 @@ CLI::
     python -m repro.telemetry.report <run_dir>
     python -m repro.telemetry.report <run_dir> --trace trace.json
     python -m repro.telemetry.report <run_dir> --json
+    python -m repro.telemetry.report <run_dir> --health --attribution
+    python -m repro.telemetry.report --diff RUN_A RUN_B
 
 The text report shows the run manifest, event counts by type, the search
 progress extracted from ``iteration`` events, and every metric recorded
 in ``metrics.json`` (counters, gauges, histogram quantiles). ``--trace``
 converts the event log into a Chrome/Perfetto trace via
-:func:`repro.analysis.trace.events_to_chrome_trace`.
+:func:`repro.analysis.trace.events_to_chrome_trace`. ``--health``
+appends the health-watchdog alert timeline, ``--attribution`` the
+latest best-placement attribution (per-device Gantt, top-k
+critical-path ops, traffic matrix), and ``--diff`` prints metric deltas
+between two runs for quick regression triage.
 
 Library use::
 
@@ -30,7 +36,17 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.telemetry.events import read_events, validate_event
 
-__all__ = ["RunData", "load_run", "summarize_run", "render_report", "main"]
+__all__ = [
+    "RunData",
+    "load_run",
+    "summarize_run",
+    "render_report",
+    "render_health_section",
+    "render_attribution_section",
+    "diff_runs",
+    "render_diff",
+    "main",
+]
 
 
 @dataclass
@@ -70,12 +86,19 @@ def summarize_run(data: RunData) -> Dict:
     invalid = sum(e.get("n_invalid", 0) for e in iterations)
     truncated = sum(e.get("n_truncated", 0) for e in iterations)
     errors = [err for e in data.events for err in validate_event(e)]
+    alerts = [e for e in data.events if e.get("type") == "alert"]
     summary: Dict = {
         "run_dir": data.run_dir,
         "name": data.manifest.get("name"),
         "events": len(data.events),
         "event_counts": data.event_counts,
         "schema_errors": errors,
+        "alerts": len(alerts),
+        "alerts_by_detector": dict(
+            _TallyCounter(e.get("detector", "?") for e in alerts)
+        ),
+        "halted": bool(data.manifest.get("halted", False)),
+        "halt_reason": data.manifest.get("halt_reason"),
         "metric_names": sorted(
             set(data.metrics.get("counters", {}))
             | set(data.metrics.get("gauges", {}))
@@ -126,7 +149,59 @@ def _fmt(value, digits: int = 4) -> str:
     return str(value)
 
 
-def render_report(run_dir: str) -> str:
+def render_health_section(data: RunData) -> str:
+    """Alert timeline: one row per health-watchdog ``alert`` event."""
+    alerts = [e for e in data.events if e.get("type") == "alert"]
+    lines = ["--- health ---"]
+    if data.manifest.get("halted"):
+        lines.append(f"HALTED: {data.manifest.get('halt_reason', '(no reason recorded)')}")
+    if not alerts:
+        lines.append("no alerts: all detectors stayed quiet")
+        return "\n".join(lines)
+    counts = _TallyCounter(e.get("detector", "?") for e in alerts)
+    lines.append(
+        f"{len(alerts)} alert(s): "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    )
+    lines.append(_table(
+        ["seq", "iter", "detector", "action", "value", "threshold", "window", "message"],
+        [[
+            e.get("seq", "-"),
+            e.get("iteration", "-"),
+            e.get("detector", "?"),
+            e.get("action", "?"),
+            _fmt(e.get("value")),
+            _fmt(e.get("threshold")),
+            e.get("window", "-"),
+            e.get("message", ""),
+        ] for e in alerts],
+    ))
+    return "\n".join(lines)
+
+
+def render_attribution_section(data: RunData, width: int = 64) -> str:
+    """The latest best-placement attribution, rendered as text."""
+    # Imported lazily: the renderer lives in repro.analysis, which pulls
+    # in the simulator stack that plain report rendering does not need.
+    from repro.analysis.attribution import render_attribution_event
+
+    events = [e for e in data.events if e.get("type") == "attribution"]
+    lines = ["--- attribution ---"]
+    if not events:
+        lines.append(
+            "no attribution events (the run found no valid placement, or "
+            "predates the attribution engine)"
+        )
+        return "\n".join(lines)
+    if len(events) > 1:
+        lines.append(f"{len(events)} attribution snapshots; showing the latest:")
+    lines.append(render_attribution_event(events[-1], width=width))
+    return "\n".join(lines)
+
+
+def render_report(
+    run_dir: str, health: bool = False, attribution: bool = False
+) -> str:
     """The full text report for one run directory."""
     data = load_run(run_dir)
     summary = summarize_run(data)
@@ -181,6 +256,115 @@ def render_report(run_dir: str) -> str:
         lines.append(_table(
             ["metric", "kind", "count/value", "mean", "p50", "p95", "p99"], rows
         ))
+    if health:
+        lines.append("")
+        lines.append(render_health_section(data))
+    if attribution:
+        lines.append("")
+        lines.append(render_attribution_section(data))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Run diffing (--diff RUN_A RUN_B)
+# ----------------------------------------------------------------------
+def _metric_finals(metrics: Dict) -> Dict[str, Dict]:
+    """Flatten a metrics snapshot into name -> {final, mean}."""
+    out: Dict[str, Dict] = {}
+    for name, c in metrics.get("counters", {}).items():
+        out[name] = {"kind": "counter", "final": c.get("value"), "mean": None}
+    for name, g in metrics.get("gauges", {}).items():
+        out[name] = {"kind": "gauge", "final": g.get("value"), "mean": None}
+    for name, h in metrics.get("histograms", {}).items():
+        out[name] = {"kind": "histogram", "final": h.get("count"), "mean": h.get("mean")}
+    return out
+
+
+def diff_runs(run_a: str, run_b: str) -> Dict:
+    """Metric/alert deltas between two run directories (B minus A)."""
+    a, b = load_run(run_a), load_run(run_b)
+    sa, sb = summarize_run(a), summarize_run(b)
+    ma, mb = _metric_finals(a.metrics), _metric_finals(b.metrics)
+    metrics: Dict[str, Dict] = {}
+    for name in sorted(set(ma) | set(mb)):
+        ea, eb = ma.get(name), mb.get(name)
+        entry: Dict = {
+            "kind": (eb or ea or {}).get("kind"),
+            "a_final": ea.get("final") if ea else None,
+            "b_final": eb.get("final") if eb else None,
+            "a_mean": ea.get("mean") if ea else None,
+            "b_mean": eb.get("mean") if eb else None,
+        }
+        if isinstance(entry["a_final"], (int, float)) and isinstance(
+            entry["b_final"], (int, float)
+        ):
+            entry["delta_final"] = entry["b_final"] - entry["a_final"]
+        else:
+            entry["delta_final"] = None
+        metrics[name] = entry
+    diff: Dict = {
+        "run_a": a.run_dir,
+        "run_b": b.run_dir,
+        "metrics": metrics,
+        "alerts": {
+            "a": sa["alerts"],
+            "b": sb["alerts"],
+            "delta": sb["alerts"] - sa["alerts"],
+            "a_by_detector": sa["alerts_by_detector"],
+            "b_by_detector": sb["alerts_by_detector"],
+        },
+        "halted": {"a": sa["halted"], "b": sb["halted"]},
+    }
+    ra = (sa.get("search") or {}).get("final_best_runtime")
+    rb = (sb.get("search") or {}).get("final_best_runtime")
+    diff["best_runtime"] = {
+        "a": ra,
+        "b": rb,
+        "delta": (rb - ra)
+        if isinstance(ra, (int, float)) and isinstance(rb, (int, float))
+        else None,
+    }
+    return diff
+
+
+def render_diff(diff: Dict) -> str:
+    """Text rendering of a :func:`diff_runs` result."""
+    lines = [f"=== run diff: {diff['run_a']} -> {diff['run_b']} ==="]
+    br = diff["best_runtime"]
+    lines.append(
+        f"best_runtime: {_fmt(br['a'])} -> {_fmt(br['b'])}"
+        + (f" (delta {_fmt(br['delta'], 4)})" if br["delta"] is not None else "")
+    )
+    al = diff["alerts"]
+    lines.append(
+        f"alerts: {al['a']} -> {al['b']} (delta {al['delta']:+d})"
+    )
+    for label, by in (("A", al["a_by_detector"]), ("B", al["b_by_detector"])):
+        if by:
+            lines.append(
+                f"  {label} by detector: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(by.items()))
+            )
+    halted = diff["halted"]
+    if halted["a"] or halted["b"]:
+        lines.append(f"halted: A={halted['a']} B={halted['b']}")
+    rows = []
+    for name, m in diff["metrics"].items():
+        rows.append([
+            name,
+            m.get("kind") or "-",
+            _fmt(m["a_final"]),
+            _fmt(m["b_final"]),
+            _fmt(m["delta_final"]) if m["delta_final"] is not None else "-",
+            _fmt(m["a_mean"]),
+            _fmt(m["b_mean"]),
+        ])
+    if rows:
+        lines.append("")
+        lines.append(_table(
+            ["metric", "kind", "A final", "B final", "delta", "A mean", "B mean"],
+            rows,
+        ))
     return "\n".join(lines)
 
 
@@ -192,7 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.telemetry.report",
         description="Summarize a telemetry run directory.",
     )
-    parser.add_argument("run_dir", help="directory written by repro.telemetry.start_run")
+    parser.add_argument(
+        "run_dir",
+        nargs="?",
+        default=None,
+        help="directory written by repro.telemetry.start_run",
+    )
     parser.add_argument(
         "--trace",
         metavar="OUT.json",
@@ -202,11 +391,42 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="print the digest as JSON instead of text"
     )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="append the health-watchdog alert timeline",
+    )
+    parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help="append the latest best-placement attribution (Gantt, top-k ops)",
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        default=None,
+        help="print metric/alert deltas between two runs instead of a report",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.diff is not None:
+        try:
+            diff = diff_runs(*args.diff)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(diff, indent=2, default=str))
+        else:
+            print(render_diff(diff))
+        return 0
+    if args.run_dir is None:
+        print("error: a run_dir (or --diff RUN_A RUN_B) is required", file=sys.stderr)
+        return 2
     try:
         data = load_run(args.run_dir)
     except FileNotFoundError as exc:
@@ -215,7 +435,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.json:
         print(json.dumps(summarize_run(data), indent=2, default=str))
     else:
-        print(render_report(args.run_dir))
+        print(render_report(args.run_dir, health=args.health, attribution=args.attribution))
     if args.trace:
         # Imported lazily: repro.analysis pulls in the simulator stack,
         # which plain report rendering does not need.

@@ -1,0 +1,247 @@
+"""Tests for the streaming training-health watchdog."""
+
+import json
+import math
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.config import fast_profile
+from repro.core import build_mars_agent
+from repro.rl import JointTrainer
+from repro.rl.ppo import UpdateStats
+from repro.sim import ClusterSpec, PlacementEnv
+from repro.telemetry import (
+    HealthConfig,
+    HealthWatchdog,
+    Telemetry,
+    read_events,
+    start_run,
+    use_telemetry,
+    validate_event,
+)
+from repro.workloads import build_vgg16
+
+
+def healthy_stats(**overrides) -> UpdateStats:
+    base = dict(
+        policy_loss=0.1, entropy=1.2, clip_fraction=0.05,
+        approx_kl=0.01, grad_norm=0.5, passes=1,
+    )
+    base.update(overrides)
+    return UpdateStats(**base)
+
+
+class TestHealthConfig:
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            HealthConfig(action="explode")
+
+    def test_actions_accepted(self):
+        for action in ("log", "warn", "halt"):
+            assert HealthConfig(action=action).action == action
+
+
+class TestDetectors:
+    def test_healthy_stream_stays_quiet(self):
+        dog = HealthWatchdog(HealthConfig(), telemetry=Telemetry())
+        for i in range(30):
+            assert dog.observe_update(i, healthy_stats()) == []
+            assert dog.observe_iteration(
+                i, best_runtime=1.0 / (i + 1), n_invalid=0, n_samples=10
+            ) == []
+        assert dog.alerts == []
+        assert not dog.halted
+
+    @pytest.mark.parametrize("field", ["policy_loss", "grad_norm", "entropy", "approx_kl"])
+    def test_nan_guard_fires_on_any_field(self, field):
+        dog = HealthWatchdog(HealthConfig(), telemetry=Telemetry())
+        fired = dog.observe_update(3, healthy_stats(**{field: float("nan")}))
+        assert [a.detector for a in fired] == ["nan_guard"]
+        assert fired[0].iteration == 3
+        assert field in fired[0].message
+
+    def test_nan_guard_fires_on_inf(self):
+        dog = HealthWatchdog(HealthConfig(), telemetry=Telemetry())
+        fired = dog.observe_update(0, healthy_stats(grad_norm=float("inf")))
+        assert [a.detector for a in fired] == ["nan_guard"]
+
+    def test_entropy_collapse_needs_full_window(self):
+        cfg = HealthConfig(window=3, entropy_floor=0.5)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        assert dog.observe_update(0, healthy_stats(entropy=0.01)) == []
+        assert dog.observe_update(1, healthy_stats(entropy=0.01)) == []
+        fired = dog.observe_update(2, healthy_stats(entropy=0.01))
+        assert [a.detector for a in fired] == ["entropy_collapse"]
+        assert fired[0].value == pytest.approx(0.01)
+        assert fired[0].window == 3
+
+    def test_entropy_collapse_not_triggered_by_healthy_mean(self):
+        cfg = HealthConfig(window=2, entropy_floor=0.5)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for i in range(10):
+            assert dog.observe_update(i, healthy_stats(entropy=1.0)) == []
+
+    def test_kl_blowup_on_either_sign(self):
+        cfg = HealthConfig(kl_threshold=0.5, cooldown=0)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        assert [a.detector for a in dog.observe_update(0, healthy_stats(approx_kl=0.7))] == [
+            "kl_blowup"
+        ]
+        assert [a.detector for a in dog.observe_update(1, healthy_stats(approx_kl=-0.7))] == [
+            "kl_blowup"
+        ]
+
+    def test_invalid_rate_spike(self):
+        cfg = HealthConfig(invalid_rate_threshold=0.8, invalid_window=20)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        fired = []
+        for i in range(4):
+            fired += dog.observe_iteration(
+                i, best_runtime=float("inf"), n_invalid=10, n_samples=10
+            )
+        assert [a.detector for a in fired] == ["invalid_rate"]
+        assert fired[0].value == pytest.approx(1.0)
+
+    def test_invalid_rate_window_slides(self):
+        """Old all-invalid samples age out once healthy samples arrive."""
+        cfg = HealthConfig(invalid_rate_threshold=0.8, invalid_window=20, cooldown=0)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for i in range(2):
+            dog.observe_iteration(i, float("inf"), n_invalid=10, n_samples=10)
+        n_before = len(dog.alerts)
+        for i in range(2, 8):
+            dog.observe_iteration(i, 1.0, n_invalid=0, n_samples=10)
+        assert len(dog.alerts) == n_before  # rate fell below threshold
+
+    def test_reward_plateau(self):
+        cfg = HealthConfig(plateau_window=3, plateau_rel_improvement=0.01)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        fired = []
+        for i in range(6):
+            fired += dog.observe_iteration(i, best_runtime=2.0, n_invalid=0, n_samples=10)
+        assert "reward_plateau" in [a.detector for a in fired]
+
+    def test_no_plateau_while_improving(self):
+        cfg = HealthConfig(plateau_window=3, plateau_rel_improvement=0.01)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        best = 10.0
+        for i in range(10):
+            best *= 0.9  # 10% better every iteration
+            assert dog.observe_iteration(i, best, n_invalid=0, n_samples=10) == []
+
+    def test_plateau_ignores_infinite_best(self):
+        cfg = HealthConfig(plateau_window=2)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for i in range(10):
+            fired = dog.observe_iteration(
+                i, best_runtime=float("inf"), n_invalid=0, n_samples=1
+            )
+            assert "reward_plateau" not in [a.detector for a in fired]
+
+    def test_cooldown_dedupes_then_refires(self):
+        cfg = HealthConfig(kl_threshold=0.1, cooldown=5)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for i in range(12):
+            dog.observe_update(i, healthy_stats(approx_kl=1.0))
+        kl_alerts = [a for a in dog.alerts if a.detector == "kl_blowup"]
+        # observations 1..12; fires at 1, then again once 5 observations passed
+        assert 2 <= len(kl_alerts) <= 3
+
+    def test_disabled_watchdog_is_a_noop(self):
+        dog = HealthWatchdog(HealthConfig(enabled=False), telemetry=Telemetry())
+        assert dog.observe_update(0, healthy_stats(policy_loss=float("nan"))) == []
+        assert dog.observe_iteration(0, float("inf"), 10, 10) == []
+        assert dog.alerts == []
+
+
+class TestActions:
+    def test_halt_sets_reason(self):
+        dog = HealthWatchdog(HealthConfig(action="halt"), telemetry=Telemetry())
+        dog.observe_update(0, healthy_stats(policy_loss=float("nan")))
+        assert dog.halted
+        assert dog.halt_reason is not None and "nan_guard" in dog.halt_reason
+
+    def test_warn_and_log_do_not_halt(self):
+        for action in ("log", "warn"):
+            dog = HealthWatchdog(HealthConfig(action=action), telemetry=Telemetry())
+            dog.observe_update(0, healthy_stats(policy_loss=float("nan")))
+            assert dog.alerts and not dog.halted
+
+    def test_alert_counters_incremented(self):
+        tel = Telemetry()
+        dog = HealthWatchdog(HealthConfig(cooldown=0, kl_threshold=0.1), telemetry=tel)
+        dog.observe_update(0, healthy_stats(approx_kl=1.0))
+        dog.observe_update(1, healthy_stats(approx_kl=1.0))
+        snap = tel.metrics.snapshot()
+        assert snap["counters"]["health.alerts"]["value"] == 2
+        assert snap["counters"]["health.alerts.kl_blowup"]["value"] == 2
+
+
+class TestAlertEvents:
+    def test_injected_nan_produces_validating_alert_event(self, tmp_path):
+        tel = start_run("health-nan", str(tmp_path))
+        dog = HealthWatchdog(HealthConfig(), telemetry=tel)
+        dog.observe_update(7, healthy_stats(grad_norm=float("nan")))
+        tel.close()
+        alerts = list(read_events(tel.run_dir, types=("alert",)))
+        assert len(alerts) == 1
+        event = alerts[0]
+        assert validate_event(event) == []
+        assert event["detector"] == "nan_guard"
+        assert event["iteration"] == 7
+        assert math.isnan(event["value"])
+
+
+class TestTrainerIntegration:
+    def _setup(self, iterations=6):
+        graph = build_vgg16(scale=0.25, batch_size=4)
+        cluster = ClusterSpec.default()
+        env = PlacementEnv(graph, cluster)
+        cfg = fast_profile(seed=0, iterations=iterations)
+        agent = build_mars_agent(graph, cluster, cfg)
+        return env, cfg, agent
+
+    def test_forced_entropy_collapse_halts_and_records_reason(self, tmp_path):
+        env, cfg, agent = self._setup()
+        # An entropy floor above ln(num_devices) makes every window "collapsed".
+        health = HealthConfig(action="halt", entropy_floor=10.0, window=1)
+        tel = start_run("health-halt", str(tmp_path), manifest={"workload": "vgg"})
+        with use_telemetry(tel):
+            history = JointTrainer(agent, env, cfg.trainer, health=health).train()
+        tel.close()
+
+        assert history.halt_reason is not None
+        assert "entropy_collapse" in history.halt_reason
+        assert len(history.records) < cfg.trainer.iterations
+
+        manifest = json.load(open(os.path.join(tel.run_dir, "manifest.json")))
+        assert manifest["halted"] is True
+        assert "entropy_collapse" in manifest["halt_reason"]
+        assert manifest["workload"] == "vgg"  # merge kept the original keys
+
+        alerts = list(read_events(tel.run_dir, types=("alert",)))
+        assert alerts and all(validate_event(e) == [] for e in alerts)
+
+    def test_healthy_run_completes_without_alerts(self):
+        env, cfg, agent = self._setup(iterations=3)
+        history = JointTrainer(
+            agent, env, cfg.trainer, health=HealthConfig(action="halt")
+        ).train()
+        assert history.halt_reason is None
+        assert len(history.records) == 3
+
+    def test_no_health_config_defaults_on(self):
+        env, cfg, agent = self._setup(iterations=2)
+        trainer = JointTrainer(agent, env, cfg.trainer)
+        assert trainer.health.enabled
+        trainer.train()
+        assert trainer.watchdog is not None
+
+    def test_disabled_health_skips_watchdog_observations(self):
+        env, cfg, agent = self._setup(iterations=2)
+        health = HealthConfig(enabled=False, action="halt", entropy_floor=10.0, window=1)
+        history = JointTrainer(agent, env, cfg.trainer, health=health).train()
+        assert history.halt_reason is None
+        assert len(history.records) == 2

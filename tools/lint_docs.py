@@ -13,7 +13,9 @@ Two checks, both stdlib-only:
 2. Every ``tests/fixtures/*.jsonl`` event fixture must parse as JSONL
    and validate against the event schema in ``repro.telemetry.events``
    — keeping docs/observability.md's schema reference, the fixtures,
-   and the code in sync.
+   and the code in sync. Coverage is also enforced: every event type
+   registered in ``EVENT_SCHEMAS`` must appear in at least one fixture
+   line, so a new event type cannot ship without a validated example.
 
 Exit status is non-zero if any check fails.
 """
@@ -29,7 +31,7 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.telemetry.events import validate_event  # noqa: E402
+from repro.telemetry.events import EVENT_SCHEMAS, validate_event  # noqa: E402
 
 # [text](target) and ![alt](target); target ends at the first ')' or space.
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
@@ -74,6 +76,7 @@ def check_event_fixtures() -> list:
     fixtures = sorted(glob.glob(pattern))
     if not fixtures:
         return [f"no JSONL fixtures found under {pattern}"]
+    seen_types = set()
     for path in fixtures:
         rel = os.path.relpath(path, REPO_ROOT)
         with open(path, encoding="utf-8") as fh:
@@ -86,8 +89,15 @@ def check_event_fixtures() -> list:
                 except ValueError as exc:
                     errors.append(f"{rel}:{lineno}: not JSON ({exc})")
                     continue
+                seen_types.add(event.get("type"))
                 for problem in validate_event(event):
                     errors.append(f"{rel}:{lineno}: {problem}")
+    missing = sorted(set(EVENT_SCHEMAS) - seen_types)
+    if missing:
+        errors.append(
+            "fixture coverage: no fixture line for event type(s) "
+            f"{', '.join(missing)} (add one to tests/fixtures/*.jsonl)"
+        )
     return errors
 
 
