@@ -1,9 +1,9 @@
-.PHONY: install test lint-docs bench bench-smoke report-smoke experiments examples clean
+.PHONY: install test lint-docs bench bench-smoke report-smoke serve-smoke experiments examples clean
 
 install:
 	pip install -e .
 
-test: lint-docs bench-smoke report-smoke
+test: lint-docs bench-smoke report-smoke serve-smoke
 	pytest tests/
 
 lint-docs:
@@ -21,6 +21,12 @@ bench-smoke:
 # proves the report pipeline renders real run directories on every `make test`.
 report-smoke:
 	PYTHONPATH=src python tools/report_smoke.py
+
+# Two-policy registry + HTTP server + 8 concurrent clients x 64 requests:
+# proves cache consistency, typed overload rejection and the full serving
+# stack on every `make test` (see docs/serving.md).
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
 
 experiments:
 	python -m repro.experiments.runner all --cache-dir benchmarks/.mars_cache

@@ -1,0 +1,81 @@
+"""Benchmarks for the placement service (``repro.serve``).
+
+Times the three request paths a deployment actually sees — cache hit,
+greedy miss (one argmax decode + one simulation) and refined miss
+(greedy + ``budget`` sampled candidates through ``evaluate_batch``) —
+so the serving docs' latency claims stay honest. Run with::
+
+    pytest benchmarks/bench_serve.py --benchmark-only
+"""
+
+import pytest
+
+from repro.config import fast_profile
+from repro.core import save_agent
+from repro.core.search import build_agent
+from repro.graph import graph_to_dict
+from repro.serve import (
+    PlacementRequest,
+    PlacementService,
+    PolicyRegistry,
+    ServeConfig,
+)
+from repro.sim import ClusterSpec
+from repro.workloads import build_vgg16
+
+CLUSTER = ClusterSpec.default()
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    ckpt_dir = tmp_path_factory.mktemp("serve-bench")
+    graph = build_vgg16(scale=0.25, batch_size=4)
+    cfg = fast_profile(seed=0)
+    agent, _ = build_agent("mars_no_pretrain", graph, CLUSTER, cfg, None)
+    save_agent(str(ckpt_dir / "mars__vgg"), agent, "mars", workload=graph.name, config=cfg)
+    svc = PlacementService(PolicyRegistry(str(ckpt_dir)), config=ServeConfig())
+    # Warm the agent/env caches so the benchmarks time steady state.
+    svc.handle(PlacementRequest(graph=graph_to_dict(graph)))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def graph_doc():
+    return graph_to_dict(build_vgg16(scale=0.25, batch_size=4))
+
+
+def test_serve_cache_hit(benchmark, service, graph_doc):
+    """The steady-state path for repeated graphs: a dictionary lookup."""
+    response = benchmark(
+        lambda: service.handle(PlacementRequest(graph=graph_doc))
+    )
+    assert response.cache == "hit"
+
+
+def test_serve_greedy_miss(benchmark, service, graph_doc):
+    """Uncached greedy request: fingerprint + decode + one simulation."""
+    response = benchmark(
+        lambda: service.handle(PlacementRequest(graph=graph_doc, use_cache=False))
+    )
+    assert response.cache == "miss"
+    assert response.candidates_evaluated == 1
+
+
+def test_serve_refined_miss(benchmark, service, graph_doc):
+    """Uncached request with an 8-candidate refinement budget."""
+    response = benchmark(
+        lambda: service.handle(
+            PlacementRequest(graph=graph_doc, budget=8, use_cache=False)
+        )
+    )
+    assert response.candidates_evaluated == 9
+
+
+def test_fingerprint_only(benchmark, graph_doc):
+    """The hash itself, for scale context (dominates tiny cache hits)."""
+    from repro.graph import graph_from_dict
+
+    graph = graph_from_dict(graph_doc)
+    fp = benchmark(graph.fingerprint)
+    assert len(fp) == 64

@@ -11,7 +11,8 @@ minutes; it is the default for the benchmark suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Optional
 
 from repro.rl.ppo import PPOConfig
 from repro.rl.reward import RewardConfig
@@ -135,6 +136,47 @@ def fast_profile(seed: int = 0, iterations: int = 40) -> MarsConfig:
             seed=seed,
         ),
         seed=seed,
+    )
+
+
+def config_to_echo(config: MarsConfig) -> dict:
+    """The architecture-defining slice of a config, as plain JSON data.
+
+    This is what ``save_agent`` records in the checkpoint sidecar: the
+    sub-configs that size the agent's networks (encoder, placer, grouper)
+    plus the build seed. ``config_from_echo`` inverts it, so a checkpoint
+    can be rebuilt without knowing which profile trained it.
+    """
+    return {
+        "encoder": asdict(config.encoder),
+        "placer": asdict(config.placer),
+        "grouper": asdict(config.grouper),
+        "seed": config.seed,
+    }
+
+
+def _dataclass_from_echo(cls, doc: dict):
+    """Build ``cls`` from ``doc``, ignoring unknown keys (a sidecar written
+    by a newer version may carry fields this version doesn't know)."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+def config_from_echo(echo: dict, base: Optional[MarsConfig] = None) -> MarsConfig:
+    """Rebuild a :class:`MarsConfig` from a sidecar's ``config`` echo.
+
+    Architecture fields (encoder/placer/grouper, seed) come from the echo;
+    everything else — trainer, telemetry, health, eval_batch — from
+    ``base`` (default: :func:`fast_profile`), since those don't affect
+    parameter shapes.
+    """
+    base = base if base is not None else fast_profile()
+    return replace(
+        base,
+        encoder=_dataclass_from_echo(EncoderConfig, echo.get("encoder", {})),
+        placer=_dataclass_from_echo(PlacerConfig, echo.get("placer", {})),
+        grouper=_dataclass_from_echo(GrouperConfig, echo.get("grouper", {})),
+        seed=echo.get("seed", base.seed),
     )
 
 

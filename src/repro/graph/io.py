@@ -39,10 +39,18 @@ def graph_to_dict(graph: CompGraph) -> dict:
 
 def graph_from_dict(doc: dict) -> CompGraph:
     graph = CompGraph(doc.get("name", "graph"))
-    for spec in doc["nodes"]:
+    names = set()
+    for i, spec in enumerate(doc["nodes"]):
+        name = spec["name"]
+        if name in names:
+            raise ValueError(
+                f"graph document {graph.name!r}: duplicate node name {name!r} "
+                f"(nodes[{i}])"
+            )
+        names.add(name)
         graph.add_node(
             OpNode(
-                name=spec["name"],
+                name=name,
                 op_type=spec["op_type"],
                 output_shape=tuple(spec.get("output_shape", ())),
                 flops=spec.get("flops", 0.0),
@@ -52,7 +60,19 @@ def graph_from_dict(doc: dict) -> CompGraph:
                 colocation_group=spec.get("colocation_group"),
             )
         )
-    for src, dst in doc.get("edges", ()):
+    for i, edge in enumerate(doc.get("edges", ())):
+        if len(edge) != 2:
+            raise ValueError(
+                f"graph document {graph.name!r}: edges[{i}] must be a "
+                f"[src, dst] pair, got {list(edge)!r}"
+            )
+        src, dst = edge
+        for endpoint in (src, dst):
+            if endpoint not in names:
+                raise ValueError(
+                    f"graph document {graph.name!r}: edge "
+                    f"[{src!r}, {dst!r}] references unknown node {endpoint!r}"
+                )
         graph.add_edge(src, dst)
     graph.validate()
     return graph

@@ -57,6 +57,17 @@ class PolicyAgent(Module):
     num_ops: int
     num_devices: int
 
+    @property
+    def feature_dim(self) -> int:
+        """Width of the node-feature matrix the agent was built over, or
+        0 when the agent doesn't consume node features. Checkpoints record
+        it so a load against a mismatched feature extractor fails with a
+        clear error instead of a shape crash mid-forward."""
+        features = getattr(self, "features", None)
+        if features is None:
+            return 0
+        return int(features.shape[1])
+
     def sample(self, n_samples: int, rng, greedy: bool = False) -> AgentRollout:
         raise NotImplementedError  # pragma: no cover
 

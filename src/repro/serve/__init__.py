@@ -1,0 +1,67 @@
+"""Placement-as-a-service: query trained placers on demand.
+
+The offline experiment runners train agents; this package is the online
+half — the amortized-inference mode that makes a learned placer pay off
+(Placeto/GDP's argument): a trained policy, queried cheaply on unseen
+graphs. See docs/serving.md for the guide.
+
+Layers, bottom up:
+
+* :class:`PolicyRegistry` — scans a checkpoint directory's sidecars,
+  indexes agents by ``(agent_kind, workload, num_devices)``, rebuilds
+  them lazily with :func:`repro.core.load_agent`, hot-reloads on refresh.
+* :class:`PlacementService` — the programmatic API: request in (graph
+  JSON or workload name + cluster spec + refinement budget), response
+  out (placement, predicted step time, policy id, cache status, latency);
+  greedy fast path, bounded refinement via ``evaluate_batch``, and a
+  fingerprint LRU+TTL result cache.
+* :class:`RequestQueue` — worker threads, micro-batching, bounded-queue
+  admission control with the typed :class:`ServiceOverloaded` error,
+  graceful draining shutdown.
+* :class:`PlacementServer` — the stdlib HTTP endpoint; ``python -m
+  repro.serve`` runs it standalone.
+
+Quickstart::
+
+    from repro.serve import PolicyRegistry, PlacementService, PlacementRequest
+
+    registry = PolicyRegistry("checkpoints/")
+    service = PlacementService(registry)
+    response = service.handle(PlacementRequest(workload="vgg16", budget=8))
+    print(response.placement, response.predicted_step_time)
+"""
+
+from repro.serve.cache import CacheStats, FingerprintCache
+from repro.serve.http import PlacementServer
+from repro.serve.queue import RequestQueue
+from repro.serve.registry import LoadedPolicy, PolicyRegistry, PolicySpec
+from repro.serve.service import (
+    BadRequest,
+    PlacementRequest,
+    PlacementResponse,
+    PlacementService,
+    PolicyNotFound,
+    ServeConfig,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "BadRequest",
+    "CacheStats",
+    "FingerprintCache",
+    "LoadedPolicy",
+    "PlacementRequest",
+    "PlacementResponse",
+    "PlacementServer",
+    "PlacementService",
+    "PolicyNotFound",
+    "PolicyRegistry",
+    "PolicySpec",
+    "RequestQueue",
+    "ServeConfig",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+]

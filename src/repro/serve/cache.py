@@ -1,0 +1,111 @@
+"""Fingerprint-keyed result cache for the placement service.
+
+A bounded LRU with optional TTL expiry, safe for concurrent access from
+the queue's worker threads. Keys are the service's composite request
+fingerprints (graph content hash + policy id + cluster signature +
+refinement budget — see :meth:`repro.serve.service.PlacementService`);
+values are finished :class:`~repro.serve.service.PlacementResponse`
+objects. Identical graphs therefore never re-run inference: the second
+request is a dictionary lookup.
+
+TTL exists for operators who hot-reload checkpoints in place: with
+``ttl`` set, a cached placement older than that many seconds is
+recomputed, so a swapped policy takes effect within one TTL even for
+fingerprints that stay hot. Entries are also invalidated wholesale by
+:meth:`FingerprintCache.clear` on registry reload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["CacheStats", "FingerprintCache"]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache bookkeeping (monotonic counters)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class FingerprintCache:
+    """Thread-safe bounded LRU with optional per-entry TTL.
+
+    ``capacity <= 0`` disables bounding (not recommended in production —
+    an adversarial client could then grow memory without limit by sending
+    unique graphs). ``ttl=None`` disables expiry. ``clock`` is injectable
+    for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.capacity = int(capacity)
+        self.ttl = float(ttl) if ttl is not None else None
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[Any, float]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry (which counts as
+        a miss and drops the stale entry)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            value, stored_at = entry
+            if self.ttl is not None and self._clock() - stored_at > self.ttl:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = (value, self._clock())
+            self._entries.move_to_end(key)
+            if self.capacity > 0:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (registry hot reload); returns the count."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            return n

@@ -1,0 +1,175 @@
+"""Bounded request queue with micro-batching worker threads.
+
+The queue is the service's concurrency and admission-control layer:
+
+* **Admission control.** The queue is bounded (``ServeConfig.max_queue``).
+  A submit against a full queue fails *immediately* with the typed
+  :class:`~repro.serve.service.ServiceOverloaded` error — deliberate
+  backpressure the client can see and react to, never silent unbounded
+  queueing or a hang. Every admission decision feeds the service's
+  rejection-rate health detector.
+
+* **Micro-batching.** Worker threads block for one request, then drain up
+  to ``max_batch - 1`` more without waiting. The batch is served through
+  the shared fingerprint cache, so duplicate requests that arrive inside
+  one batch (a thundering herd on one graph) compute once and the rest
+  resolve as cache hits milliseconds later.
+
+* **Graceful shutdown.** :meth:`RequestQueue.shutdown` stops admissions,
+  lets the workers drain everything already accepted, and joins them —
+  every admitted request gets a real response (or a typed error), even
+  during shutdown.
+
+Results travel back through ``concurrent.futures.Future``; callers use
+:meth:`RequestQueue.submit_and_wait` for a synchronous round trip (this
+is what the HTTP handler threads do).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import List, Optional, Tuple
+
+from repro.serve.service import (
+    PlacementRequest,
+    PlacementResponse,
+    PlacementService,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.serve.queue")
+
+__all__ = ["RequestQueue"]
+
+#: Seconds an idle worker waits on the queue before re-checking shutdown.
+_POLL_S = 0.05
+
+
+class RequestQueue:
+    """Admission-controlled, micro-batching front of a PlacementService."""
+
+    def __init__(self, service: PlacementService, start: bool = True):
+        self.service = service
+        cfg = service.config
+        self.max_batch = cfg.max_batch
+        self._queue: "queue.Queue[Tuple[PlacementRequest, Future]]" = queue.Queue(
+            maxsize=cfg.max_queue
+        )
+        self._closed = threading.Event()
+        self._workers: List[threading.Thread] = []
+        self._n_workers = cfg.workers
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests admitted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    @property
+    def running(self) -> bool:
+        return bool(self._workers) and not self._closed.is_set()
+
+    def start(self) -> None:
+        if self._workers:
+            return
+        self._closed.clear()
+        for i in range(self._n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request: PlacementRequest) -> "Future[PlacementResponse]":
+        """Admit ``request``; returns a future resolving to its response.
+
+        Raises :class:`ServiceClosed` after shutdown began and
+        :class:`ServiceOverloaded` when the queue is at capacity — the
+        caller is never parked waiting for a slot.
+        """
+        if self._closed.is_set():
+            self.service.note_admission(rejected=True)
+            raise ServiceClosed("service is shutting down")
+        future: "Future[PlacementResponse]" = Future()
+        try:
+            self._queue.put_nowait((request, future))
+        except queue.Full:
+            self.service.note_admission(rejected=True)
+            raise ServiceOverloaded(
+                f"request queue full ({self._queue.maxsize} pending); retry later"
+            ) from None
+        self.service.note_admission(rejected=False)
+        self._gauge_depth()
+        return future
+
+    def submit_and_wait(
+        self, request: PlacementRequest, timeout: Optional[float] = None
+    ) -> PlacementResponse:
+        """Synchronous round trip; re-raises the service's typed errors."""
+        return self.submit(request).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _gauge_depth(self) -> None:
+        tel = self.service._tel()
+        with self.service._lock:
+            tel.gauge("serve.queue_depth").set(self._queue.qsize())
+
+    def _drain_batch(self) -> List[Tuple[PlacementRequest, Future]]:
+        """One blocking get, then opportunistic gets up to ``max_batch``.
+
+        Returns an empty list only when shutdown is complete (closed and
+        drained)."""
+        while True:
+            try:
+                first = self._queue.get(timeout=_POLL_S)
+                break
+            except queue.Empty:
+                if self._closed.is_set():
+                    return []
+        batch = [first]
+        while len(batch) < self.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._drain_batch()
+            if not batch:
+                return
+            self._gauge_depth()
+            tel = self.service._tel()
+            with self.service._lock:
+                tel.histogram("serve.batch_size").observe(len(batch))
+            for request, future in batch:
+                if not future.set_running_or_notify_cancel():
+                    continue  # caller cancelled while queued
+                try:
+                    future.set_result(self.service.handle(request))
+                except ServiceError as exc:
+                    future.set_exception(exc)
+                except Exception as exc:  # defensive: never kill a worker
+                    logger.exception("unexpected error serving %s", request.request_id)
+                    future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop admitting, drain everything admitted, join the workers."""
+        self._closed.set()
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+        self._workers = []

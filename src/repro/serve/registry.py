@@ -1,0 +1,234 @@
+"""Checkpoint-directory policy registry with lazy loading and hot reload.
+
+A checkpoint directory (written by :func:`repro.core.save_agent`) holds
+``<stem>.npz`` parameter archives with ``<stem>.json`` sidecars. The
+registry scans the sidecars — cheap, no parameter I/O — and indexes the
+policies by ``(agent_kind, workload, num_devices)``. Agents are only
+rebuilt (via :func:`repro.core.load_agent`) when a request first needs
+them, and the built agent is cached per ``(policy, graph fingerprint,
+cluster signature)`` so repeated requests against the same graph reuse
+the same in-memory network.
+
+Hot reload: :meth:`PolicyRegistry.refresh` rescans the directory. New
+sidecars become servable immediately; removed ones disappear; a sidecar
+whose mtime changed (a retrained checkpoint saved over the old stem)
+invalidates every loaded agent built from it. ``save_agent`` writes
+atomically and sidecar-last, so a concurrent refresh never observes a
+half-written checkpoint.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import MarsConfig
+from repro.graph import CompGraph, FeatureExtractor
+from repro.sim.cluster import ClusterSpec
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.serve.registry")
+
+__all__ = ["PolicySpec", "PolicyRegistry", "LoadedPolicy"]
+
+#: Loaded-agent cache entries kept per registry. An entry is one built
+#: agent (+ its graph/cluster); rebuilding on miss is seconds, holding
+#: hundreds is memory, so the default favors small.
+DEFAULT_AGENT_CACHE = 8
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One servable checkpoint, as described by its sidecar."""
+
+    policy_id: str  # sidecar stem, unique within the directory
+    path: str  # checkpoint path without extension (load_agent target)
+    agent_kind: str
+    workload: str
+    num_devices: int
+    num_ops: int
+    feature_dim: int
+    mtime: float  # sidecar mtime at scan; drives hot-reload invalidation
+    meta: dict = field(compare=False, hash=False, repr=False, default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "policy_id": self.policy_id,
+            "agent_kind": self.agent_kind,
+            "workload": self.workload,
+            "num_devices": self.num_devices,
+            "num_ops": self.num_ops,
+            "feature_dim": self.feature_dim,
+        }
+
+
+@dataclass
+class LoadedPolicy:
+    """A built agent plus the lock serializing inference on it.
+
+    Sampling is a NumPy forward pass under a process-global ``no_grad``
+    flag, so concurrent workers must not drive the same agent at once;
+    each worker takes ``lock`` around ``agent.sample``.
+    """
+
+    spec: PolicySpec
+    agent: object
+    graph: CompGraph
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class PolicyRegistry:
+    """Scans, indexes and lazily materializes a directory of checkpoints."""
+
+    def __init__(
+        self,
+        checkpoint_dir: str,
+        config: Optional[MarsConfig] = None,
+        feature_extractor: Optional[FeatureExtractor] = None,
+        agent_cache_size: int = DEFAULT_AGENT_CACHE,
+    ):
+        self.checkpoint_dir = checkpoint_dir
+        #: Fallback config for sidecars without a config echo; ``None``
+        #: makes such checkpoints unservable (clear error on load).
+        self.config = config
+        self.feature_extractor = feature_extractor
+        self.agent_cache_size = max(1, int(agent_cache_size))
+        self._lock = threading.Lock()
+        self._specs: Dict[str, PolicySpec] = {}
+        self._agents: "OrderedDict[Tuple[str, str, str], LoadedPolicy]" = OrderedDict()
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def _scan(self) -> Dict[str, PolicySpec]:
+        specs: Dict[str, PolicySpec] = {}
+        for sidecar in sorted(glob.glob(os.path.join(self.checkpoint_dir, "*.json"))):
+            stem = sidecar[: -len(".json")]
+            if not os.path.exists(stem + ".npz"):
+                continue  # sidecar without parameters: not servable
+            try:
+                with open(sidecar) as fh:
+                    meta = json.load(fh)
+                spec = PolicySpec(
+                    policy_id=os.path.basename(stem),
+                    path=stem,
+                    agent_kind=meta["agent_kind"],
+                    workload=meta.get("workload", ""),
+                    num_devices=int(meta["num_devices"]),
+                    num_ops=int(meta.get("num_ops", 0)),
+                    feature_dim=int(meta.get("feature_dim", 0)),
+                    mtime=os.path.getmtime(sidecar),
+                    meta=meta,
+                )
+            except (OSError, ValueError, KeyError) as exc:
+                logger.warning("skipping unreadable sidecar %s: %s", sidecar, exc)
+                continue
+            specs[spec.policy_id] = spec
+        return specs
+
+    def refresh(self) -> int:
+        """Rescan the checkpoint directory; returns the number of servable
+        policies. Loaded agents whose checkpoint disappeared or changed
+        mtime are dropped (the next request rebuilds from the new file)."""
+        fresh = self._scan()
+        with self._lock:
+            stale = {
+                pid
+                for pid, old in self._specs.items()
+                if pid not in fresh or fresh[pid].mtime != old.mtime
+            }
+            if stale:
+                for key in [k for k in self._agents if k[0] in stale]:
+                    del self._agents[key]
+            self._specs = fresh
+        if stale:
+            logger.info(
+                "registry refresh: %d policies, %d invalidated", len(fresh), len(stale)
+            )
+        return len(fresh)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def policies(self) -> List[PolicySpec]:
+        with self._lock:
+            return sorted(self._specs.values(), key=lambda s: s.policy_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._specs)
+
+    def get(self, policy_id: str) -> Optional[PolicySpec]:
+        with self._lock:
+            return self._specs.get(policy_id)
+
+    def select(
+        self,
+        num_devices: int,
+        workload: Optional[str] = None,
+        agent_kind: Optional[str] = None,
+    ) -> Optional[PolicySpec]:
+        """The best policy for a request, or ``None`` if nothing matches.
+
+        Hard filter on device count (output heads are sized by it) and on
+        ``agent_kind`` when given. Among the survivors, an exact workload
+        match beats a transfer policy; ties break to the newest checkpoint,
+        then to policy id for determinism.
+        """
+        candidates = [
+            s
+            for s in self.policies()
+            if s.num_devices == num_devices
+            and (agent_kind is None or s.agent_kind == agent_kind)
+        ]
+        if not candidates:
+            return None
+        candidates.sort(
+            key=lambda s: (
+                0 if (workload and s.workload == workload) else 1,
+                -s.mtime,
+                s.policy_id,
+            )
+        )
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def load(
+        self, spec: PolicySpec, graph: CompGraph, cluster: ClusterSpec
+    ) -> LoadedPolicy:
+        """The built agent for ``spec`` over ``graph``/``cluster`` (LRU
+        cached). Raises ``ValueError`` on device/feature mismatches, with
+        the message from :func:`repro.core.load_agent`."""
+        key = (spec.policy_id, graph.fingerprint(), cluster.signature())
+        with self._lock:
+            loaded = self._agents.get(key)
+            if loaded is not None:
+                self._agents.move_to_end(key)
+                return loaded
+        # Build outside the lock: load_agent is seconds of NumPy work and
+        # must not serialize unrelated requests. A racing duplicate build
+        # is wasted work, not corruption — last insert wins.
+        from repro.core.checkpoint import load_agent
+
+        agent, _ = load_agent(
+            spec.path,
+            graph,
+            cluster,
+            config=self.config,
+            feature_extractor=self.feature_extractor,
+        )
+        loaded = LoadedPolicy(spec=spec, agent=agent, graph=graph)
+        with self._lock:
+            self._agents[key] = loaded
+            self._agents.move_to_end(key)
+            while len(self._agents) > self.agent_cache_size:
+                self._agents.popitem(last=False)
+        return loaded

@@ -52,6 +52,41 @@ class ClusterSpec:
                 return i
         raise RuntimeError("unreachable: validated in __post_init__")
 
+    def signature(self) -> str:
+        """Stable content hash of the cluster (hex sha256, truncated).
+
+        Covers everything that affects a placement measurement: per-device
+        capabilities, link bandwidth/latency, step overhead and link
+        overrides. Used by the serving layer (``repro.serve``) to key
+        result caches — the same graph on a different machine must not
+        share cache entries.
+        """
+        import hashlib
+        import json
+
+        doc = {
+            "devices": [
+                {
+                    "name": d.name,
+                    "kind": d.kind,
+                    "peak_flops": d.peak_flops,
+                    "mem_bandwidth": d.mem_bandwidth,
+                    "memory": d.memory,
+                    "launch_overhead": d.launch_overhead,
+                    "efficiency": dict(sorted(d.efficiency.items())),
+                }
+                for d in self.devices
+            ],
+            "link_bandwidth": self.link_bandwidth,
+            "link_latency": self.link_latency,
+            "step_overhead": self.step_overhead,
+            "link_overrides": sorted(
+                (min(a, b), max(a, b), bw) for a, b, bw in self.link_overrides
+            ),
+        }
+        payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
     def bandwidth_between(self, a: int, b: int) -> float:
         """Effective bandwidth of the ``a``-``b`` link (order-insensitive)."""
         for x, y, bw in self.link_overrides:

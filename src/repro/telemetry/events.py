@@ -97,6 +97,21 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "window": _INT,  # observations the statistic was computed over
         "message": _STR,
     },
+    # Placement service (repro.serve) -----------------------------------
+    # One event per serviced request. `status` is "ok" or a typed error
+    # code ("bad_request" | "policy_not_found" | "overloaded" | ...);
+    # `cache` is "hit" | "miss" | "none" (failed requests never reach the
+    # cache). `policy_id`/`fingerprint` are empty strings when the request
+    # failed before they were resolved.
+    "serve_request": {
+        "request_id": _STR,
+        "policy_id": _STR,
+        "fingerprint": _STR,
+        "status": _STR,
+        "cache": _STR,
+        "latency_ms": _NUM,
+        "budget": _INT,
+    },
     # Placement attribution (repro.sim.attribution via PlacementEnv) ----
     # Carries the JSON payload of PlacementAttribution.event_payload:
     # besides the scalars below, `devices` (busy/idle/intervals per

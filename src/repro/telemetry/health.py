@@ -72,6 +72,12 @@ class HealthConfig:
     #: were invalid (OOM) over the last ``invalid_window`` samples.
     invalid_rate_threshold: float = 0.9
     invalid_window: int = 60
+    #: Serving rejection-rate spike (repro.serve): fraction of admission
+    #: decisions that rejected the request (queue full) over the last
+    #: ``reject_window`` requests — sustained backpressure means the
+    #: service is undersized for its load (docs/serving.md).
+    reject_rate_threshold: float = 0.5
+    reject_window: int = 40
     #: Minimum observations between two firings of the same detector.
     cooldown: int = 10
 
@@ -112,6 +118,9 @@ class HealthWatchdog:
         self._entropies: Deque[float] = deque(maxlen=max(1, self.config.window))
         self._invalid: Deque[Tuple[int, int]] = deque()  # (n_invalid, n_samples)
         self._invalid_counts = [0, 0]  # running (invalid, samples) in window
+        self._rejects: Deque[int] = deque(
+            maxlen=max(1, self.config.reject_window)
+        )  # 1 = rejected admission, 0 = accepted
         self._bests: Deque[float] = deque(maxlen=max(2, self.config.plateau_window + 1))
         self._observations = 0
         self._last_fired: Dict[str, int] = {}
@@ -231,6 +240,36 @@ class HealthWatchdog:
             if alert:
                 fired.append(alert)
         return fired
+
+    def observe_request(self, rejected: bool) -> List[HealthAlert]:
+        """Feed one serving admission decision (``repro.serve``).
+
+        Fires ``rejection_rate`` when more than ``reject_rate_threshold``
+        of the last ``reject_window`` requests were turned away by
+        admission control — the queue is persistently full, i.e. offered
+        load exceeds service capacity, not a momentary burst.
+        """
+        if not self.config.enabled:
+            return []
+        self._observations += 1
+        cfg = self.config
+        self._rejects.append(1 if rejected else 0)
+        if len(self._rejects) < self._rejects.maxlen:
+            return []
+        rate = sum(self._rejects) / len(self._rejects)
+        if rate <= cfg.reject_rate_threshold:
+            return []
+        alert = self._fire(
+            "rejection_rate",
+            -1,
+            rate,
+            cfg.reject_rate_threshold,
+            len(self._rejects),
+            f"{sum(self._rejects)}/{len(self._rejects)} requests rejected by "
+            "admission control — offered load exceeds service capacity "
+            "(raise --workers/--max-queue or shed traffic upstream)",
+        )
+        return [alert] if alert else []
 
     def observe_iteration(
         self,

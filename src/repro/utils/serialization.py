@@ -1,22 +1,37 @@
 """Parameter (de)serialization for :class:`repro.nn.Module` trees.
 
 Parameters are stored as flat ``name -> ndarray`` dicts in ``.npz`` files so
-that checkpoints are portable and dependency-free.
+that checkpoints are portable and dependency-free. Writes are atomic
+(temp file + ``os.replace``), so a crash mid-save can never leave a
+truncated archive where a loadable checkpoint used to be — the policy
+registry in ``repro.serve`` hot-reloads checkpoint directories and relies
+on every ``.npz`` it sees being complete.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from typing import Dict
 
 import numpy as np
 
 
 def save_state_dict(path: str, state: Dict[str, np.ndarray]) -> None:
-    """Write a flat state dict to ``path`` (``.npz`` appended if missing)."""
+    """Atomically write a flat state dict to ``path`` (``.npz`` appended
+    if missing)."""
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path if path.endswith(".npz") else path + ".npz", **state)
+    final = path if path.endswith(".npz") else path + ".npz"
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **state)
+        os.replace(tmp, final)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def load_state_dict(path: str) -> Dict[str, np.ndarray]:

@@ -52,6 +52,48 @@ class TestGraphIO:
         with pytest.raises(ValueError):
             load_graph(doc)
 
+    def test_duplicate_node_name_rejected(self):
+        doc = {
+            "name": "dup",
+            "nodes": [
+                {"name": "a", "op_type": "Input"},
+                {"name": "a", "op_type": "ReLU"},
+            ],
+            "edges": [],
+        }
+        with pytest.raises(ValueError, match=r"duplicate node name 'a' \(nodes\[1\]\)"):
+            graph_from_dict(doc)
+
+    def test_edge_referencing_unknown_node_rejected(self):
+        doc = {
+            "name": "dangling",
+            "nodes": [{"name": "a", "op_type": "Input"}],
+            "edges": [["a", "ghost"]],
+        }
+        with pytest.raises(ValueError, match="references unknown node 'ghost'"):
+            graph_from_dict(doc)
+        doc["edges"] = [["phantom", "a"]]
+        with pytest.raises(ValueError, match="references unknown node 'phantom'"):
+            graph_from_dict(doc)
+
+    def test_malformed_edge_rejected(self):
+        doc = {
+            "name": "bad-edge",
+            "nodes": [{"name": "a", "op_type": "Input"}],
+            "edges": [["a"]],
+        }
+        with pytest.raises(ValueError, match=r"edges\[0\] must be a \[src, dst\] pair"):
+            graph_from_dict(doc)
+
+    def test_error_names_the_document(self):
+        doc = {
+            "name": "my-workload",
+            "nodes": [{"name": "a", "op_type": "Input"}],
+            "edges": [["a", "b"]],
+        }
+        with pytest.raises(ValueError, match="my-workload"):
+            graph_from_dict(doc)
+
     def test_workload_roundtrip_identical_features(self, tmp_path):
         from repro.graph import FeatureExtractor
         from repro.workloads import build_vgg16

@@ -1,0 +1,55 @@
+"""Shared fixtures for the serving tests.
+
+Building agents is the expensive part, so one session-scoped checkpoint
+directory with two small policies (an exact-workload one for ``tiny``
+and a transfer one trained on a different graph) backs every test that
+needs a populated registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import fast_profile
+from repro.core import save_agent
+from repro.core.search import build_agent
+from repro.graph import CompGraph, OpNode
+from repro.sim import ClusterSpec
+from tests.helpers import tiny_graph
+
+
+def chain_graph(name: str = "chain", length: int = 5) -> CompGraph:
+    """A small linear graph distinct from ``tiny_graph`` (transfer target)."""
+    g = CompGraph(name)
+    g.add_node(OpNode("in", "Input", (4, 8), cpu_only=True))
+    prev = "in"
+    for i in range(length):
+        node = f"op{i}"
+        g.add_node(
+            OpNode(node, "MatMul", (4, 16), flops=1e6, param_bytes=256),
+            inputs=[prev],
+        )
+        prev = node
+    g.add_node(OpNode("loss", "CrossEntropy", (1,), flops=64), inputs=[prev])
+    return g
+
+
+@pytest.fixture(scope="session")
+def serve_setup(tmp_path_factory):
+    """(checkpoint_dir, cluster, config) with two servable policies."""
+    ckpt_dir = tmp_path_factory.mktemp("checkpoints")
+    cluster = ClusterSpec.default()
+    cfg = fast_profile(seed=0)
+
+    tiny = tiny_graph()
+    agent, _ = build_agent("mars_no_pretrain", tiny, cluster, cfg, None)
+    save_agent(
+        str(ckpt_dir / "mars__tiny"), agent, "mars", workload=tiny.name, config=cfg
+    )
+
+    chain = chain_graph()
+    agent2, _ = build_agent("mars_no_pretrain", chain, cluster, cfg, None)
+    save_agent(
+        str(ckpt_dir / "mars__chain"), agent2, "mars", workload=chain.name, config=cfg
+    )
+    return str(ckpt_dir), cluster, cfg

@@ -1,0 +1,87 @@
+"""Tests for the fingerprint result cache (LRU + TTL)."""
+
+from repro.serve import FingerprintCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestFingerprintCache:
+    def test_miss_then_hit(self):
+        cache = FingerprintCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1
+        assert 0 < stats.hit_rate < 1
+
+    def test_lru_eviction_order(self):
+        cache = FingerprintCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a: b is now least-recent
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = FingerprintCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(9.9)
+        assert cache.get("k") == 1
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = FingerprintCache(capacity=4, ttl=None, clock=clock)
+        cache.put("k", 1)
+        clock.advance(1e9)
+        assert cache.get("k") == 1
+
+    def test_put_overwrites_and_refreshes(self):
+        clock = FakeClock()
+        cache = FingerprintCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(8.0)
+        cache.put("k", 2)  # rewrite restarts the TTL
+        clock.advance(8.0)
+        assert cache.get("k") == 2
+
+    def test_clear_returns_count(self):
+        cache = FingerprintCache(capacity=8)
+        for i in range(3):
+            cache.put(str(i), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.get("0") is None
+
+    def test_unbounded_capacity(self):
+        cache = FingerprintCache(capacity=0)
+        for i in range(100):
+            cache.put(str(i), i)
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_stats_to_dict(self):
+        cache = FingerprintCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        doc = cache.stats.to_dict()
+        assert doc["hits"] == 1 and doc["misses"] == 1
+        assert set(doc) >= {"hits", "misses", "evictions", "expirations", "hit_rate"}

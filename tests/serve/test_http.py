@@ -1,0 +1,120 @@
+"""End-to-end tests over the HTTP endpoint (real sockets, loopback)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.graph import graph_to_dict
+from repro.serve import PlacementServer, PlacementService, PolicyRegistry
+from tests.helpers import tiny_graph
+
+
+@pytest.fixture(scope="module")
+def server(serve_setup):
+    ckpt_dir, _, _ = serve_setup
+    service = PlacementService(PolicyRegistry(ckpt_dir))
+    srv = PlacementServer(service, port=0).start()  # ephemeral port
+    yield srv
+    srv.shutdown()
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.address + path, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post(server, path, doc):
+    req = urllib.request.Request(
+        server.address + path,
+        data=json.dumps(doc).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, doc = get(server, "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["policies"] == 2
+        assert "queue_depth" in doc and "cache" in doc
+
+    def test_policies(self, server):
+        status, doc = get(server, "/policies")
+        assert status == 200
+        ids = [p["policy_id"] for p in doc["policies"]]
+        assert ids == ["mars__chain", "mars__tiny"]
+
+    def test_unknown_path(self, server):
+        status, doc = get_error(server, "/nope")
+        assert status == 404 and doc["error"] == "not_found"
+
+    def test_place_and_cache_hit(self, server):
+        body = {"graph": graph_to_dict(tiny_graph()), "budget": 0}
+        status, first = post(server, "/place", body)
+        assert status == 200
+        assert first["policy_id"] == "mars__tiny"
+        assert first["latency_ms"] > 0
+        assert set(first["placement"]) == {n.name for n in tiny_graph().nodes}
+        status, second = post(server, "/place", body)
+        assert status == 200
+        assert second["cache"] == "hit"
+        assert second["placement"] == first["placement"]
+
+    def test_place_by_workload_name(self, server):
+        status, doc = post(
+            server, "/place", {"workload": "vgg16", "workload_kwargs": {"scale": 0.25}}
+        )
+        assert status == 200 and doc["placement"]
+
+    def test_bad_json_body(self, server):
+        req = urllib.request.Request(
+            server.address + "/place", data=b"{oops", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["error"] == "bad_request"
+
+    def test_empty_body_rejected(self, server):
+        req = urllib.request.Request(
+            server.address + "/place", data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+
+    def test_typed_errors_surface_with_status(self, server):
+        status, doc = post(server, "/place", {"workload": "not-a-workload"})
+        assert status == 400 and doc["error"] == "bad_request"
+        status, doc = post(
+            server, "/place", {"workload": "vgg16", "cluster": {"num_gpus": 2}}
+        )
+        assert status == 404 and doc["error"] == "policy_not_found"
+        status, doc = post(server, "/place", {"workload": "vgg16", "bogus": 1})
+        assert status == 400 and "bogus" in doc["message"]
+
+    def test_reload_clears_cache(self, server):
+        body = {"graph": graph_to_dict(tiny_graph())}
+        post(server, "/place", body)
+        status, doc = post(server, "/reload", {})
+        assert status == 200
+        assert doc["policies"] == 2
+        status, after = post(server, "/place", body)
+        assert after["cache"] == "miss"  # cache was cleared
+
+
+def get_error(server, path):
+    try:
+        with urllib.request.urlopen(server.address + path, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())

@@ -1,0 +1,154 @@
+"""Tests for the micro-batching request queue and admission control.
+
+A stub service (instant or gated ``handle``) keeps these deterministic —
+the queue only needs ``config``, ``_lock``, ``_tel``, ``note_admission``
+and ``handle`` from its service.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    PlacementRequest,
+    RequestQueue,
+    ServeConfig,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.telemetry import Telemetry
+
+
+class StubService:
+    """Duck-typed PlacementService: echoes requests after an optional gate."""
+
+    def __init__(self, config: ServeConfig, gated: bool = False):
+        self.config = config
+        self._lock = threading.Lock()
+        self._telemetry = Telemetry()  # in-memory metrics
+        self.handled = []
+        self.admissions = []
+        self.entered = threading.Event()  # a worker is inside handle()
+        self.gate = threading.Event()  # blocks handle() until set
+        if not gated:
+            self.gate.set()
+
+    def _tel(self) -> Telemetry:
+        return self._telemetry
+
+    def note_admission(self, rejected: bool) -> None:
+        self.admissions.append(rejected)
+
+    def handle(self, request: PlacementRequest):
+        self.entered.set()
+        assert self.gate.wait(timeout=10.0), "test gate never opened"
+        if request.workload == "boom":
+            raise ServiceError("synthetic failure")
+        self.handled.append(request.request_id)
+        return request.request_id
+
+
+def make_request(i: int) -> PlacementRequest:
+    return PlacementRequest(workload="w", request_id=f"req-{i:03d}")
+
+
+class TestAdmission:
+    def test_round_trip(self):
+        service = StubService(ServeConfig(workers=2, max_queue=4))
+        q = RequestQueue(service)
+        assert q.submit_and_wait(make_request(0), timeout=10.0) == "req-000"
+        assert service.admissions == [False]
+        q.shutdown()
+
+    def test_overload_rejects_with_typed_error(self):
+        service = StubService(ServeConfig(workers=1, max_queue=2, max_batch=1), gated=True)
+        q = RequestQueue(service)
+        futures = [q.submit(make_request(0))]
+        assert service.entered.wait(timeout=10.0)  # worker holds request 0
+        futures.append(q.submit(make_request(1)))  # queue slot 1
+        futures.append(q.submit(make_request(2)))  # queue slot 2: full
+        with pytest.raises(ServiceOverloaded, match="full"):
+            q.submit(make_request(3))
+        assert service.admissions == [False, False, False, True]
+        service.gate.set()
+        assert sorted(f.result(timeout=10.0) for f in futures) == [
+            "req-000",
+            "req-001",
+            "req-002",
+        ]
+        q.shutdown()
+
+    def test_overload_does_not_hang(self):
+        service = StubService(ServeConfig(workers=1, max_queue=1, max_batch=1), gated=True)
+        q = RequestQueue(service)
+        q.submit(make_request(0))
+        assert service.entered.wait(timeout=10.0)
+        q.submit(make_request(1))
+        start = time.perf_counter()
+        with pytest.raises(ServiceOverloaded):
+            q.submit(make_request(2))
+        assert time.perf_counter() - start < 1.0  # immediate, not parked
+        service.gate.set()
+        q.shutdown()
+
+    def test_submit_after_shutdown_raises_closed(self):
+        service = StubService(ServeConfig(workers=1, max_queue=4))
+        q = RequestQueue(service)
+        q.shutdown()
+        with pytest.raises(ServiceClosed):
+            q.submit(make_request(0))
+        assert service.admissions[-1] is True  # counted as a rejection
+
+
+class TestWorkers:
+    def test_micro_batching_drains_backlog(self):
+        service = StubService(ServeConfig(workers=1, max_queue=16, max_batch=8), gated=True)
+        q = RequestQueue(service)
+        futures = [q.submit(make_request(i)) for i in range(6)]
+        assert service.entered.wait(timeout=10.0)
+        service.gate.set()
+        for f in futures:
+            f.result(timeout=10.0)
+        assert sorted(service.handled) == [f"req-{i:03d}" for i in range(6)]
+        # The worker was held at the gate while the backlog built up, so
+        # some drained micro-batch must have carried several requests.
+        hist = service._telemetry.metrics.snapshot()["histograms"]["serve.batch_size"]
+        assert hist["count"] >= 1 and hist["max"] > 1
+        q.shutdown()
+
+    def test_service_error_propagates_to_caller(self):
+        service = StubService(ServeConfig(workers=1, max_queue=4))
+        q = RequestQueue(service)
+        with pytest.raises(ServiceError, match="synthetic"):
+            q.submit_and_wait(
+                PlacementRequest(workload="boom", request_id="req-boom"), timeout=10.0
+            )
+        # The worker survives a failing request.
+        assert q.submit_and_wait(make_request(1), timeout=10.0) == "req-001"
+        q.shutdown()
+
+    def test_shutdown_drains_admitted_requests(self):
+        service = StubService(ServeConfig(workers=2, max_queue=32, max_batch=4))
+        q = RequestQueue(service)
+        futures = [q.submit(make_request(i)) for i in range(12)]
+        q.shutdown()
+        assert not q.running
+        assert sorted(f.result(timeout=1.0) for f in futures) == sorted(
+            f"req-{i:03d}" for i in range(12)
+        )
+
+    def test_queue_depth_gauge(self):
+        service = StubService(ServeConfig(workers=1, max_queue=8, max_batch=1), gated=True)
+        q = RequestQueue(service)
+        q.submit(make_request(0))
+        assert service.entered.wait(timeout=10.0)
+        q.submit(make_request(1))
+        q.submit(make_request(2))
+        assert q.depth == 2
+        gauges = service._telemetry.metrics.snapshot()["gauges"]
+        assert gauges["serve.queue_depth"]["value"] == 2
+        service.gate.set()
+        q.shutdown()
+        assert q.depth == 0

@@ -1,0 +1,195 @@
+"""Tests for the placement service core (request -> response)."""
+
+import math
+
+import pytest
+
+from repro.graph import graph_to_dict
+from repro.serve import (
+    BadRequest,
+    PlacementRequest,
+    PlacementService,
+    PolicyNotFound,
+    PolicyRegistry,
+    ServeConfig,
+)
+from repro.telemetry import Telemetry, read_events, start_run, validate_event
+from tests.helpers import tiny_graph
+from tests.serve.conftest import chain_graph
+
+
+@pytest.fixture(scope="module")
+def service(serve_setup):
+    ckpt_dir, _, _ = serve_setup
+    svc = PlacementService(PolicyRegistry(ckpt_dir))
+    yield svc
+    svc.close()
+
+
+def tiny_request(**overrides) -> PlacementRequest:
+    doc = dict(graph=graph_to_dict(tiny_graph()))
+    doc.update(overrides)
+    return PlacementRequest(**doc)
+
+
+class TestHappyPath:
+    def test_greedy_response_fields(self, service):
+        response = service.handle(tiny_request())
+        assert response.policy_id == "mars__tiny"
+        assert response.agent_kind == "mars"
+        assert response.workload == "tiny"
+        assert response.request_id.startswith("req-")
+        assert len(response.fingerprint) == 64
+        assert set(response.placement) == {n.name for n in tiny_graph().nodes}
+        assert len(response.device_names) == len(set(response.device_names))
+        assert response.candidates_evaluated == 1
+        assert response.latency_ms > 0
+        assert response.budget == 0
+        if response.valid:
+            assert math.isfinite(response.predicted_step_time)
+            assert response.predicted_step_time > 0
+
+    def test_cpu_only_ops_stay_on_host(self, service):
+        response = service.handle(tiny_request(use_cache=False))
+        # resolve() pins cpu_only nodes to the CPU (the last device).
+        assert response.placement["in"] == len(response.device_names) - 1
+
+    def test_miss_then_hit_identical_placement(self, service):
+        first = service.handle(tiny_request())
+        second = service.handle(tiny_request())
+        assert second.cache == "hit"
+        assert second.placement == first.placement
+        assert second.fingerprint == first.fingerprint
+        assert second.policy_id == first.policy_id
+        assert second.request_id != first.request_id  # per-request identity
+        assert second.latency_ms > 0
+
+    def test_use_cache_false_always_misses(self, service):
+        service.handle(tiny_request())  # warm
+        response = service.handle(tiny_request(use_cache=False))
+        assert response.cache == "miss"
+
+    def test_budget_evaluates_candidates(self, service):
+        response = service.handle(tiny_request(budget=4, use_cache=False))
+        assert response.candidates_evaluated == 5  # greedy + 4 samples
+        assert response.budget == 4
+
+    def test_budget_recompute_is_deterministic(self, service):
+        a = service.handle(tiny_request(budget=3, use_cache=False))
+        b = service.handle(tiny_request(budget=3, use_cache=False))
+        assert a.placement == b.placement
+
+    def test_budget_is_part_of_cache_key(self, service):
+        a = service.handle(tiny_request(budget=0))
+        b = service.handle(tiny_request(budget=2))
+        assert a.fingerprint == b.fingerprint  # same graph content
+        assert b.cache == "miss"  # but a different cache entry
+
+    def test_workload_by_name(self, service):
+        response = service.handle(
+            PlacementRequest(workload="vgg16", workload_kwargs={"scale": 0.25})
+        )
+        # No vgg16 policy is registered: a transfer policy serves it.
+        assert response.workload.startswith("vgg16")
+        assert response.placement
+
+    def test_pinned_policy(self, service):
+        response = service.handle(
+            tiny_request(policy_id="mars__chain", use_cache=False)
+        )
+        assert response.policy_id == "mars__chain"  # transfer serve
+
+
+class TestErrors:
+    def test_graph_and_workload_both_set(self, service):
+        with pytest.raises(BadRequest, match="exactly one"):
+            service.handle(tiny_request(workload="vgg16"))
+
+    def test_neither_graph_nor_workload(self, service):
+        with pytest.raises(BadRequest, match="exactly one"):
+            service.handle(PlacementRequest())
+
+    def test_unknown_workload(self, service):
+        with pytest.raises(BadRequest):
+            service.handle(PlacementRequest(workload="not-a-workload"))
+
+    def test_invalid_graph_document(self, service):
+        doc = graph_to_dict(tiny_graph())
+        doc["edges"].append(["ghost", "loss"])
+        with pytest.raises(BadRequest, match="unknown node"):
+            service.handle(PlacementRequest(graph=doc))
+
+    def test_unknown_cluster_kind(self, service):
+        with pytest.raises(BadRequest, match="cluster kind"):
+            service.handle(tiny_request(cluster={"kind": "tpu-pod"}))
+
+    def test_no_policy_for_device_count(self, service):
+        with pytest.raises(PolicyNotFound):
+            service.handle(tiny_request(cluster={"num_gpus": 2}))
+
+    def test_unknown_pinned_policy(self, service):
+        with pytest.raises(PolicyNotFound, match="nope"):
+            service.handle(tiny_request(policy_id="nope"))
+
+    def test_pinned_policy_device_mismatch(self, service):
+        with pytest.raises(BadRequest, match="devices"):
+            service.handle(
+                tiny_request(policy_id="mars__tiny", cluster={"num_gpus": 2})
+            )
+
+    def test_budget_out_of_range(self, service):
+        with pytest.raises(BadRequest, match="budget"):
+            service.handle(tiny_request(budget=-1))
+        with pytest.raises(BadRequest, match="budget"):
+            service.handle(tiny_request(budget=service.config.max_budget + 1))
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(BadRequest, match="unknown request field"):
+            PlacementRequest.from_json({"workload": "vgg16", "bogus": 1})
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(BadRequest, match="JSON object"):
+            PlacementRequest.from_json([1, 2])
+
+
+class TestTelemetry:
+    def test_serve_request_events_validate(self, serve_setup, tmp_path):
+        ckpt_dir, _, _ = serve_setup
+        tel = start_run("serve-test", str(tmp_path))
+        svc = PlacementService(PolicyRegistry(ckpt_dir), telemetry=tel)
+        svc.handle(tiny_request())
+        svc.handle(tiny_request())
+        with pytest.raises(BadRequest):
+            svc.handle(PlacementRequest())
+        svc.close()
+        tel.close()
+
+        events = list(read_events(tel.run_dir, types=("serve_request",)))
+        assert len(events) == 3
+        assert all(validate_event(e) == [] for e in events)
+        statuses = [e["status"] for e in events]
+        caches = [e["cache"] for e in events]
+        assert statuses == ["ok", "ok", "bad_request"]
+        assert caches == ["miss", "hit", "none"]
+        assert all(e["latency_ms"] > 0 for e in events)
+        ok = [e for e in events if e["status"] == "ok"]
+        assert all(e["policy_id"] and len(e["fingerprint"]) == 64 for e in ok)
+
+    def test_counters_and_cache_metrics(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        tel = Telemetry()  # in-memory metrics, null events
+        svc = PlacementService(PolicyRegistry(ckpt_dir), telemetry=tel)
+        svc.note_admission(rejected=False)
+        svc.handle(tiny_request())
+        svc.note_admission(rejected=False)
+        svc.handle(tiny_request())
+        svc.note_admission(rejected=True)
+        svc.close()
+
+        snapshot = tel.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["serve.requests"]["value"] == 3
+        assert counters["serve.rejected"]["value"] == 1
+        assert counters["serve.cache_hits"]["value"] == 1
+        assert snapshot["gauges"]["serve.cache_size"]["value"] == 1
+        assert snapshot["histograms"]["serve.latency_ms"]["count"] == 2

@@ -153,7 +153,42 @@ class TestDetectors:
         dog = HealthWatchdog(HealthConfig(enabled=False), telemetry=Telemetry())
         assert dog.observe_update(0, healthy_stats(policy_loss=float("nan"))) == []
         assert dog.observe_iteration(0, float("inf"), 10, 10) == []
+        assert dog.observe_request(rejected=True) == []
         assert dog.alerts == []
+
+    def test_rejection_rate_needs_full_window(self):
+        cfg = HealthConfig(reject_rate_threshold=0.5, reject_window=10)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for _ in range(9):
+            assert dog.observe_request(rejected=True) == []  # window not full
+        fired = dog.observe_request(rejected=True)
+        assert [a.detector for a in fired] == ["rejection_rate"]
+        alert = fired[0]
+        assert alert.value == 1.0
+        assert alert.threshold == 0.5
+        assert alert.window == 10
+        assert alert.iteration == -1  # not tied to a training iteration
+        assert "admission control" in alert.message
+
+    def test_rejection_rate_quiet_under_threshold(self):
+        cfg = HealthConfig(reject_rate_threshold=0.5, reject_window=10)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for i in range(40):
+            assert dog.observe_request(rejected=(i % 2 == 0)) == []  # rate == 0.5
+        assert dog.alerts == []
+
+    def test_rejection_rate_window_slides(self):
+        cfg = HealthConfig(reject_rate_threshold=0.5, reject_window=4, cooldown=1)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for _ in range(4):
+            dog.observe_request(rejected=True)
+        assert len(dog.alerts) == 1
+        # A healthy stretch pushes the rejections out of the window.
+        for _ in range(4):
+            dog.observe_request(rejected=False)
+        before = len(dog.alerts)
+        dog.observe_request(rejected=False)
+        assert len(dog.alerts) == before
 
 
 class TestActions:

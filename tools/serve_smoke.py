@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Concurrent end-to-end smoke test for ``repro.serve`` (``make serve-smoke``).
+
+Builds a two-policy checkpoint directory, starts the HTTP placement
+server on an ephemeral port, and drives it the way a real deployment
+gets driven:
+
+* 8 client threads issue 64 requests (mixed graph documents, workload
+  names and refinement budgets) and every response is checked for a
+  policy id, a positive latency and a complete placement;
+* responses with identical fingerprints must carry identical placements
+  (the cache-consistency contract), and the duplicate-heavy mix must
+  produce a non-zero cache hit rate;
+* a deliberately undersized second service (1 worker, queue of 1) is
+  flooded to prove overload surfaces as the typed 503 ``overloaded``
+  error immediately — never a hang or silent queueing.
+
+Exits non-zero on any violation, so ``make test`` catches a serving
+regression before a user does. See docs/serving.md for the guide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.config import fast_profile  # noqa: E402
+from repro.core import save_agent  # noqa: E402
+from repro.core.search import build_agent  # noqa: E402
+from repro.graph import CompGraph, OpNode, graph_to_dict  # noqa: E402
+from repro.serve import (  # noqa: E402
+    PlacementServer,
+    PlacementService,
+    PolicyRegistry,
+    RequestQueue,
+    ServeConfig,
+)
+from repro.sim import ClusterSpec  # noqa: E402
+
+N_THREADS = 8
+N_REQUESTS = 64
+
+
+def tiny_graph() -> CompGraph:
+    """A 6-op diamond DAG (mirrors the unit-test workload)."""
+    g = CompGraph("tiny")
+    g.add_node(OpNode("in", "Input", (4, 8), cpu_only=True))
+    g.add_node(OpNode("a", "MatMul", (4, 16), flops=1e6, param_bytes=512), inputs=["in"])
+    g.add_node(OpNode("b", "ReLU", (4, 16), flops=64), inputs=["a"])
+    g.add_node(OpNode("c", "MatMul", (4, 16), flops=1e6, param_bytes=1024), inputs=["a"])
+    g.add_node(OpNode("d", "Concat", (4, 32)), inputs=["b", "c"])
+    g.add_node(OpNode("loss", "CrossEntropy", (1,), flops=128), inputs=["d"])
+    return g
+
+
+def chain_graph(name: str = "chain", length: int = 5) -> CompGraph:
+    g = CompGraph(name)
+    g.add_node(OpNode("in", "Input", (4, 8), cpu_only=True))
+    prev = "in"
+    for i in range(length):
+        node = f"op{i}"
+        g.add_node(
+            OpNode(node, "MatMul", (4, 16), flops=1e6, param_bytes=256),
+            inputs=[prev],
+        )
+        prev = node
+    g.add_node(OpNode("loss", "CrossEntropy", (1,), flops=64), inputs=[prev])
+    return g
+
+
+def build_checkpoints(ckpt_dir: str, cluster: ClusterSpec) -> None:
+    cfg = fast_profile(seed=0)
+    for stem, graph in (("mars__tiny", tiny_graph()), ("mars__chain", chain_graph())):
+        agent, _ = build_agent("mars_no_pretrain", graph, cluster, cfg, None)
+        save_agent(
+            os.path.join(ckpt_dir, stem), agent, "mars",
+            workload=graph.name, config=cfg,
+        )
+
+
+def post(url: str, doc: dict, timeout: float = 60.0):
+    req = urllib.request.Request(
+        url + "/place",
+        data=json.dumps(doc).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def concurrent_traffic(url: str) -> None:
+    """64 mixed requests from 8 threads; verify every response invariant."""
+    bodies = [
+        {"graph": graph_to_dict(tiny_graph()), "budget": 0},
+        {"graph": graph_to_dict(tiny_graph()), "budget": 4},
+        {"graph": graph_to_dict(chain_graph()), "budget": 0},
+        {"graph": graph_to_dict(chain_graph()), "budget": 2},
+    ]
+    results, errors = [], []
+    lock = threading.Lock()
+
+    def client(thread_idx: int) -> None:
+        for i in range(N_REQUESTS // N_THREADS):
+            body = bodies[(thread_idx + i) % len(bodies)]
+            try:
+                status, doc = post(url, body)
+            except Exception as exc:  # noqa: BLE001 - smoke must report, not crash
+                with lock:
+                    errors.append(f"thread {thread_idx}: {exc!r}")
+                return
+            with lock:
+                results.append((status, doc))
+
+    threads = [threading.Thread(target=client, args=(t,)) for t in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    if errors:
+        fail("; ".join(errors[:3]))
+    if len(results) != N_REQUESTS:
+        fail(f"expected {N_REQUESTS} responses, got {len(results)}")
+
+    by_fingerprint = {}
+    hits = 0
+    for status, doc in results:
+        if status != 200:
+            fail(f"request failed with {status}: {doc}")
+        if not doc.get("policy_id"):
+            fail(f"response missing policy id: {doc}")
+        if not (doc.get("latency_ms", 0) > 0):
+            fail(f"response missing positive latency: {doc}")
+        if not doc.get("placement"):
+            fail(f"response missing placement: {doc}")
+        if doc["cache"] == "hit":
+            hits += 1
+        key = (doc["fingerprint"], doc["budget"])
+        seen = by_fingerprint.setdefault(key, doc["placement"])
+        if seen != doc["placement"]:
+            fail(f"divergent placements for identical fingerprint {key}")
+    if hits == 0:
+        fail("no cache hits across 64 requests with duplicate graphs")
+    print(
+        f"serve-smoke: {len(results)} requests over {N_THREADS} threads, "
+        f"{hits} cache hits, {len(by_fingerprint)} distinct (fingerprint, budget) keys"
+    )
+
+
+def overload_traffic(registry: PolicyRegistry) -> None:
+    """Flood an undersized service; overload must be a fast typed 503."""
+    service = PlacementService(
+        registry, config=ServeConfig(workers=1, max_queue=1, max_batch=1)
+    )
+    server = PlacementServer(service, port=0, queue=RequestQueue(service)).start()
+    try:
+        body = {"graph": graph_to_dict(tiny_graph()), "budget": 8, "use_cache": False}
+        statuses, durations = [], []
+        lock = threading.Lock()
+
+        def client() -> None:
+            start = time.perf_counter()
+            status, doc = post(server.address, body)
+            with lock:
+                statuses.append((status, doc.get("error", "")))
+                durations.append(time.perf_counter() - start)
+
+        threads = [threading.Thread(target=client) for _ in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+
+        rejected = [s for s in statuses if s == (503, "overloaded")]
+        served = [s for s, _ in statuses if s == 200]
+        if not rejected:
+            fail(f"flooding a queue of 1 produced no 503 overloaded: {statuses}")
+        if not served:
+            fail("overloaded service served nothing at all")
+        if max(durations) > 60.0:
+            fail(f"a flooded request took {max(durations):.1f}s — that is a hang")
+        print(
+            f"serve-smoke: overload path OK "
+            f"({len(served)} served, {len(rejected)} typed 503 rejections)"
+        )
+    finally:
+        server.shutdown()
+
+
+def run() -> int:
+    cluster = ClusterSpec.default()
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        build_checkpoints(ckpt_dir, cluster)
+        registry = PolicyRegistry(ckpt_dir)
+        if len(registry) != 2:
+            fail(f"expected a 2-policy registry, got {len(registry)}")
+        service = PlacementService(
+            registry, config=ServeConfig(workers=4, max_queue=128)
+        )
+        server = PlacementServer(service, port=0, queue=RequestQueue(service)).start()
+        try:
+            concurrent_traffic(server.address)
+        finally:
+            server.shutdown()
+        overload_traffic(registry)
+    print("serve-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())
