@@ -1,13 +1,19 @@
-.PHONY: install test lint-docs bench bench-smoke report-smoke serve-smoke experiments examples clean
+.PHONY: install test lint-docs lint-defaults bench bench-smoke report-smoke serve-smoke resume-smoke experiments examples clean
 
 install:
 	pip install -e .
 
-test: lint-docs bench-smoke report-smoke serve-smoke
+test: lint-docs lint-defaults bench-smoke report-smoke serve-smoke resume-smoke
 	pytest tests/
 
 lint-docs:
 	python tools/lint_docs.py
+
+# AST lint: no call-expression / mutable-literal defaults in any `def`
+# signature under src/ (defaults are evaluated once and shared by every
+# call — the annealing.py aliasing bug class).
+lint-defaults:
+	python tools/lint_defaults.py
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -21,6 +27,13 @@ bench-smoke:
 # proves the report pipeline renders real run directories on every `make test`.
 report-smoke:
 	PYTHONPATH=src python tools/report_smoke.py
+
+# Train a few iterations -> real SIGTERM -> resume in a fresh process ->
+# compare against an uninterrupted run: proves crash-safe resume is
+# bit-identical end-to-end on every `make test` (docs/architecture.md,
+# "Run state & resume").
+resume-smoke:
+	PYTHONPATH=src python tools/resume_smoke.py
 
 # Two-policy registry + HTTP server + 8 concurrent clients x 64 requests:
 # proves cache consistency, typed overload rejection and the full serving

@@ -55,6 +55,20 @@ class GrouperConfig:
 
 
 @dataclass
+class SnapshotConfig:
+    """Crash-safe run-state snapshots (``repro.core.runstate``).
+
+    Lives here rather than next to the manager because ``MarsConfig``
+    carries it and ``repro.config`` must stay importable without pulling
+    in ``repro.core``. ``snapshot_every=0`` writes only the terminal and
+    on-halt snapshots; ``keep_last=0`` retains every snapshot.
+    """
+
+    snapshot_every: int = 5  # snapshot every N policy iterations
+    keep_last: int = 2  # newest complete snapshots retained per run
+
+
+@dataclass
 class MarsConfig:
     """Everything needed to build and train one agent."""
 
@@ -80,6 +94,11 @@ class MarsConfig:
     # The default is cpu-count-aware with a deterministic serial
     # fallback, so seeded runs reproduce on any machine.
     eval_batch: BatchEvalConfig = field(default_factory=BatchEvalConfig)
+    # Crash-safe resumable runs (docs/architecture.md §"Run state &
+    # resume"): cadence and retention of run-state snapshots, used when
+    # ``optimize_placement`` is given a ``snapshot_dir`` (the runner's
+    # ``--snapshot-dir``/``--snapshot-every``/``--resume``).
+    snapshot: SnapshotConfig = field(default_factory=SnapshotConfig)
     seed: int = 0
 
 

@@ -24,6 +24,16 @@ from repro.core.baselines import (
     partitioner_placement,
 )
 from repro.core.search import optimize_placement, OptimizationResult
+from repro.core.runstate import (
+    RunStateManager,
+    latest_snapshot,
+    load_run_state,
+    history_to_json,
+    install_signal_handlers,
+    restore_signal_handlers,
+    halt_requested,
+    clear_halt,
+)
 from repro.core.generalize import transfer_agent, generalization_run
 from repro.core.checkpoint import save_agent, load_agent, greedy_placement
 from repro.core.annealing import AnnealingConfig, AnnealingResult, anneal_placement
@@ -41,6 +51,14 @@ __all__ = [
     "partitioner_placement",
     "optimize_placement",
     "OptimizationResult",
+    "RunStateManager",
+    "latest_snapshot",
+    "load_run_state",
+    "history_to_json",
+    "install_signal_handlers",
+    "restore_signal_handlers",
+    "halt_requested",
+    "clear_halt",
     "transfer_agent",
     "generalization_run",
     "save_agent",

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.runstate import halt_requested
 from repro.sim.env import PlacementEnv
 from repro.utils.rng import new_rng
 
@@ -53,13 +54,21 @@ def _propose(actions: np.ndarray, num_devices: int, cfg: AnnealingConfig, rng) -
     return out
 
 
-def anneal_placement(env: PlacementEnv, config: AnnealingConfig = AnnealingConfig()) -> AnnealingResult:
+def anneal_placement(env: PlacementEnv, config: Optional[AnnealingConfig] = None) -> AnnealingResult:
     """Search for a placement by simulated annealing against ``env``.
 
     Every candidate is charged to the environment's measurement clock like
     an RL sample would be, so results are budget-comparable with the
-    agents' search histories.
+    agents' search histories. A pending graceful-shutdown request
+    (:func:`repro.core.runstate.halt_requested`) stops the schedule early
+    and returns the best placement found so far.
     """
+    # A literal `config=AnnealingConfig()` default would be evaluated once
+    # at definition time and *shared by every call* — any caller mutating
+    # it (e.g. tuning `seed` between restarts) would silently change the
+    # default for the whole process. `tools/lint_defaults.py` rejects the
+    # pattern tree-wide.
+    config = config if config is not None else AnnealingConfig()
     rng = new_rng(config.seed)
     n, k = env.num_ops, env.num_devices
     wall_start = env.stats.wall_clock
@@ -79,6 +88,8 @@ def anneal_placement(env: PlacementEnv, config: AnnealingConfig = AnnealingConfi
     )
     rejected = 0
     for temp in temps:
+        if halt_requested():
+            break  # graceful shutdown: keep the best found so far
         candidate = _propose(current, k, config, rng)
         cand_e = energy(candidate)
         result.runtimes.append(cand_e)

@@ -134,5 +134,5 @@ def round_robin_groups_placement(graph: CompGraph, cluster: ClusterSpec, n_group
     scattering baseline, useful in tests and ablations)."""
     gpus = cluster.gpu_indices
     groups = topological_groups(graph, n_groups)
-    actions = np.array([gpus[g % len(gpus)] for g in groups])
+    actions = np.array([gpus[g % len(gpus)] for g in groups], dtype=np.int64)
     return resolve_placement(actions, graph, cluster)

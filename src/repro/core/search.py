@@ -8,12 +8,14 @@ per-step time (the paper's evaluation metric).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from repro.config import MarsConfig, fast_profile
+from repro.core.runstate import RunStateManager, latest_snapshot, load_run_state
 from repro.core.agents import (
     build_encoder_placer_agent,
     build_mars_agent,
@@ -124,6 +126,8 @@ def optimize_placement(
     env: Optional[PlacementEnv] = None,
     feature_extractor: Optional[FeatureExtractor] = None,
     telemetry: Optional[Telemetry] = None,
+    snapshot_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> OptimizationResult:
     """Find a placement for ``graph`` with agent ``agent_kind``.
 
@@ -131,6 +135,13 @@ def optimize_placement(
     ``config.telemetry`` decide — with ``run_dir`` set, each call opens a
     per-run directory (events + manifest + metrics, see
     ``docs/observability.md``); otherwise the ambient session is used.
+
+    Crash safety: with ``snapshot_dir`` set, the run writes resumable
+    snapshots every ``config.snapshot.snapshot_every`` iterations and on
+    graceful shutdown; with ``resume=True`` the newest complete snapshot
+    under ``snapshot_dir`` is restored first — the resumed run replays
+    the remaining iterations bit-identically to an uninterrupted one
+    (docs/architecture.md §"Run state & resume").
     """
     cluster = cluster or ClusterSpec.default()
     config = config or fast_profile()
@@ -145,22 +156,91 @@ def optimize_placement(
         )
         telemetry = owned
     try:
-        with use_telemetry(telemetry):
+        with use_telemetry(telemetry) as tel:
             env = env or PlacementEnv(
                 graph,
                 cluster,
                 protocol=protocol,
                 batch=getattr(config, "eval_batch", None),
             )
-            agent, pretrain_clock = build_agent(
-                agent_kind, graph, cluster, config, feature_extractor
-            )
-            history = SearchHistory(pretrain_clock=pretrain_clock)
-            trainer = JointTrainer(
-                agent, env, config.trainer, health=getattr(config, "health", None)
-            )
-            history = trainer.train(history)
-            if history.halt_reason is not None:
+            snapshot = None
+            if resume and snapshot_dir:
+                snap_path = latest_snapshot(snapshot_dir)
+                if snap_path is None:
+                    logger.info(
+                        "no snapshot to resume under %s — starting fresh", snapshot_dir
+                    )
+                else:
+                    snapshot = load_run_state(snap_path)
+            if snapshot is not None:
+                if snapshot["agent_kind"] != agent_kind:
+                    raise ValueError(
+                        f"snapshot at {snapshot['path']!r} holds a "
+                        f"{snapshot['agent_kind']!r} run, requested {agent_kind!r}"
+                    )
+                # Lazy import (checkpoint.py imports this module).
+                from repro.core.checkpoint import load_agent
+
+                agent, _meta = load_agent(
+                    os.path.join(snapshot["path"], "agent"),
+                    graph,
+                    cluster,
+                    config,
+                    feature_extractor,
+                )
+                history = snapshot["history"]
+                done = len(history.records)
+                pretrain_clock = history.pretrain_clock
+                trainer = JointTrainer(
+                    agent,
+                    env,
+                    replace(
+                        config.trainer,
+                        iterations=max(0, config.trainer.iterations - done),
+                    ),
+                    health=getattr(config, "health", None),
+                )
+                trainer.load_state_dict(snapshot["trainer"])
+                env.load_state_dict(snapshot["env"])
+                tel.emit(
+                    "resume",
+                    iteration=done,
+                    path=snapshot["path"],
+                    samples=int(history.total_samples),
+                    sim_clock=float(history.sim_clock),
+                )
+                tel.update_manifest(
+                    resumed_from=snapshot["path"], resumed_at_iteration=done
+                )
+                logger.info(
+                    "resumed %s/%s from %s (iteration %d, %d samples)",
+                    graph.name,
+                    agent_kind,
+                    snapshot["path"],
+                    done,
+                    history.total_samples,
+                )
+            else:
+                agent, pretrain_clock = build_agent(
+                    agent_kind, graph, cluster, config, feature_extractor
+                )
+                history = SearchHistory(pretrain_clock=pretrain_clock)
+                trainer = JointTrainer(
+                    agent, env, config.trainer, health=getattr(config, "health", None)
+                )
+            run_state = None
+            if snapshot_dir:
+                run_state = RunStateManager(
+                    snapshot_dir,
+                    getattr(config, "snapshot", None),
+                    agent_kind=agent_kind,
+                    workload=graph.name,
+                    mars_config=config,
+                )
+            history = trainer.train(history, run_state=run_state)
+            if history.halt_reason is not None and not history.halt_reason.startswith(
+                "signal"
+            ):
                 logger.warning(
                     "%s/%s halted by health watchdog: %s",
                     graph.name,

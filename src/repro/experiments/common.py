@@ -33,6 +33,23 @@ from repro.workloads import get_workload
 logger = get_logger("repro.experiments")
 
 
+class RunInterrupted(RuntimeError):
+    """An agent run stopped on SIGTERM/SIGINT after snapshotting.
+
+    Carries the partial :class:`RunSummary` (which is deliberately *not*
+    cached — a resumed invocation must re-enter the same run and finish
+    it, not read a half-length curve from the cache).
+    """
+
+    def __init__(self, summary: "RunSummary"):
+        super().__init__(
+            f"run {summary.workload}/{summary.agent_kind} interrupted by "
+            f"signal after {summary.iterations} requested iterations; "
+            "state snapshotted — rerun with --resume to continue"
+        )
+        self.summary = summary
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """One benchmark workload and the machine/budgets it is evaluated on."""
@@ -149,6 +166,8 @@ class ExperimentContext:
         cache_dir: Optional[str] = None,
         specs: Optional[Dict[str, WorkloadSpec]] = None,
         telemetry_dir: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         self.config = config or fast_profile()
         self.specs = specs or WORKLOAD_SPECS
@@ -156,6 +175,12 @@ class ExperimentContext:
         # When set, every uncached agent run opens a telemetry run
         # directory (JSONL events + manifest + metrics) under this base.
         self.telemetry_dir = telemetry_dir
+        # When set, every uncached agent run writes crash-safe resumable
+        # snapshots under ``<snapshot_dir>/<cache_key>/`` (see
+        # docs/architecture.md §"Run state & resume"); ``resume=True``
+        # restores the newest complete snapshot before training.
+        self.snapshot_dir = snapshot_dir
+        self.resume = resume
         self._memory_cache: Dict[str, RunSummary] = {}
         self._graphs: Dict[str, CompGraph] = {}
         self.feature_extractor = FeatureExtractor()
@@ -250,6 +275,9 @@ class ExperimentContext:
                     "cache_key": key,
                 },
             )
+        run_snapshot_dir = (
+            os.path.join(self.snapshot_dir, key) if self.snapshot_dir else None
+        )
         try:
             with use_telemetry(tel):
                 result = optimize_placement(
@@ -259,11 +287,17 @@ class ExperimentContext:
                     config,
                     protocol=spec.build_protocol(),
                     feature_extractor=self.feature_extractor,
+                    snapshot_dir=run_snapshot_dir,
+                    resume=self.resume,
                 )
         finally:
             if tel is not None:
                 tel.close()
         summary = RunSummary.from_result(result, seed, iterations)
+        halt = result.history.halt_reason
+        if halt is not None and halt.startswith("signal"):
+            # Don't cache a partial run: resuming must re-enter it.
+            raise RunInterrupted(summary)
         self._memory_cache[key] = summary
         if path:
             with open(path, "w") as fh:

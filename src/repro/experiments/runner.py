@@ -19,8 +19,9 @@ import sys
 from dataclasses import replace
 
 from repro.config import fast_profile, paper_profile
+from repro.core.runstate import install_signal_handlers
 from repro.experiments import fig7, fig8, table1, table2, table3
-from repro.experiments.common import EVAL_WORKLOADS, ExperimentContext
+from repro.experiments.common import EVAL_WORKLOADS, ExperimentContext, RunInterrupted
 from repro.utils.logging import set_verbosity
 
 def _seeds(args):
@@ -103,6 +104,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the training-health watchdog entirely",
     )
     parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="write crash-safe resumable run snapshots under DIR (one "
+        "subdirectory per run); SIGTERM/Ctrl-C then finishes the current "
+        "iteration, snapshots and exits (docs/architecture.md, "
+        "'Run state & resume')",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot cadence in policy iterations (default: config's "
+        "snapshot.snapshot_every; 0 = only on halt/finish)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_DIR",
+        help="resume interrupted runs from their newest snapshots under "
+        "RUN_DIR (implies --snapshot-dir RUN_DIR)",
+    )
+    parser.add_argument(
         "--eval-workers",
         type=int,
         default=None,
@@ -141,15 +166,29 @@ def main(argv=None) -> int:
                 mode="process" if args.eval_workers > 1 else "serial",
             ),
         )
+    snapshot_dir = args.resume or args.snapshot_dir
+    if args.snapshot_every is not None:
+        config = replace(
+            config, snapshot=replace(config.snapshot, snapshot_every=args.snapshot_every)
+        )
+    if snapshot_dir:
+        # Graceful shutdown: finish the iteration, snapshot, then stop.
+        install_signal_handlers()
     ctx = ExperimentContext(
         config=config,
         cache_dir=args.cache_dir,
         telemetry_dir=None if args.no_telemetry else args.telemetry_dir,
+        snapshot_dir=snapshot_dir,
+        resume=args.resume is not None,
     )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"\n===== {name} =====")
-        EXPERIMENTS[name](ctx, args)
+        try:
+            EXPERIMENTS[name](ctx, args)
+        except RunInterrupted as exc:
+            print(f"\ninterrupted: {exc}", file=sys.stderr)
+            return 130  # conventional 128+SIGINT exit for "stopped by signal"
     return 0
 
 

@@ -41,6 +41,18 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Internal moments/counters needed to resume training exactly.
+
+        Hyper-parameters (lr, betas, ...) are *not* included — they come
+        from the config the optimizer is rebuilt with.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(f"{type(self).__name__} has no state to load: {sorted(state)}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -64,6 +76,22 @@ class SGD(Optimizer):
                 p.data += v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> dict:
+        if self._velocity is None:
+            return {}
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state.get("velocity")
+        if velocity is None:
+            self._velocity = None
+            return
+        if len(velocity) != len(self.params):
+            raise ValueError(
+                f"velocity count {len(velocity)} != parameter count {len(self.params)}"
+            )
+        self._velocity = [np.asarray(v).copy() for v in velocity]
 
 
 class Adam(Optimizer):
@@ -104,3 +132,23 @@ class Adam(Optimizer):
             m_hat = m / b1t
             v_hat = v / b2t
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": int(self.t),
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        m, v = state["m"], state["v"]
+        if len(m) != len(self.params) or len(v) != len(self.params):
+            raise ValueError(
+                f"moment count ({len(m)}, {len(v)}) != parameter count {len(self.params)}"
+            )
+        for i, p in enumerate(self.params):
+            if np.shape(m[i]) != p.data.shape or np.shape(v[i]) != p.data.shape:
+                raise ValueError(f"moment shape mismatch at parameter {i}")
+        self.t = int(state["t"])
+        self._m = [np.asarray(x).copy() for x in m]
+        self._v = [np.asarray(x).copy() for x in v]

@@ -49,3 +49,32 @@ class RolloutBuffer:
     def clear(self) -> None:
         self._rollouts.clear()
         self._advantages.clear()
+
+    def state_dict(self) -> dict:
+        """Buffered rollouts + advantages as plain arrays (npz-friendly)."""
+        return {
+            "rollouts": [
+                {
+                    "placements": r.placements.copy(),
+                    "old_logp": r.old_logp.copy(),
+                    "internal": {k: v.copy() for k, v in r.internal.items()},
+                }
+                for r in self._rollouts
+            ],
+            "advantages": [a.copy() for a in self._advantages],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        rollouts = state["rollouts"]
+        advantages = state["advantages"]
+        if len(rollouts) != len(advantages):
+            raise ValueError("rollout/advantage list length mismatch")
+        self._rollouts = [
+            AgentRollout(
+                placements=np.asarray(r["placements"]),
+                internal={k: np.asarray(v) for k, v in r["internal"].items()},
+                old_logp=np.asarray(r["old_logp"]),
+            )
+            for r in rollouts
+        ]
+        self._advantages = [np.asarray(a, dtype=float) for a in advantages]

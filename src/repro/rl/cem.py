@@ -40,6 +40,12 @@ class CEMUpdater:
         self.config = config if config is not None else CEMConfig()
         self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
 
+    def state_dict(self) -> dict:
+        return {"optimizer": self.optimizer.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.optimizer.load_state_dict(state["optimizer"])
+
     def update(self, rollout: AgentRollout, advantages: np.ndarray) -> UpdateStats:
         cfg = self.config
         n = rollout.batch_size

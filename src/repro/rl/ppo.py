@@ -53,6 +53,21 @@ class PPOUpdater:
         self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
         self.rng = new_rng(seed)
 
+    def state_dict(self) -> dict:
+        """Optimizer moments + shuffle-rng state, for crash-safe resume.
+
+        When the trainer shares its Generator with the updater (the usual
+        wiring), restoring both is idempotent — they are the same object.
+        """
+        return {
+            "optimizer": self.optimizer.state_dict(),
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.rng.bit_generator.state = state["rng_state"]
+
     def update(self, rollout: AgentRollout, advantages: np.ndarray) -> UpdateStats:
         cfg = self.config
         n = rollout.batch_size

@@ -47,6 +47,13 @@ class RewardTracker:
     def baseline(self) -> float:
         return self._baseline
 
+    def state_dict(self) -> dict:
+        return {"baseline": float(self._baseline), "initialized": bool(self._initialized)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._baseline = float(state["baseline"])
+        self._initialized = bool(state["initialized"])
+
     def compute(self, runtimes: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
         """Rewards and advantages for a batch of measured runtimes.
 

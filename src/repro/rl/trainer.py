@@ -142,9 +142,72 @@ class JointTrainer:
             self.updater = CEMUpdater(agent, config.cem)
         else:
             raise ValueError(f"unknown algorithm {config.algorithm!r}")
+        # Loop state mirrored onto the trainer so run-state snapshots can
+        # capture it mid-train; `_pending_*` is applied (once) by the next
+        # train() call after load_state_dict().
+        self._samples_since_best = 0
+        self._attributed_best = False
+        self._pending_loop_state: Optional[dict] = None
+        self._pending_watchdog_state: Optional[dict] = None
 
-    def train(self, history: Optional[SearchHistory] = None) -> SearchHistory:
-        """Run the search; an existing ``history`` continues (fine-tuning)."""
+    # ------------------------------------------------------------------
+    # Run-state snapshots (core/runstate.py)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything (besides agent weights and the environment) needed
+        to continue training bit-identically: rng, EMA baseline, rollout
+        buffer, updater/optimizer moments, loop counters, and the health
+        watchdog's sliding windows."""
+        return {
+            "algorithm": self.config.algorithm,
+            "rng_state": self.rng.bit_generator.state,
+            "tracker": self.tracker.state_dict(),
+            "buffer": self.buffer.state_dict(),
+            "updater": self.updater.state_dict(),
+            "loop": {
+                "samples_since_best": int(self._samples_since_best),
+                "attributed_best": bool(self._attributed_best),
+            },
+            # After load_state_dict (before the next train() call) the
+            # watchdog windows are still pending — report those, so
+            # save -> load -> save round-trips exactly.
+            "watchdog": (
+                self.watchdog.state_dict()
+                if self.watchdog is not None
+                else self._pending_watchdog_state
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        algorithm = state.get("algorithm")
+        if algorithm != self.config.algorithm:
+            raise ValueError(
+                f"snapshot was taken with algorithm {algorithm!r}, "
+                f"trainer is configured for {self.config.algorithm!r}"
+            )
+        self.rng.bit_generator.state = state["rng_state"]
+        self.tracker.load_state_dict(state["tracker"])
+        self.buffer.load_state_dict(state["buffer"])
+        self.updater.load_state_dict(state["updater"])
+        self._pending_loop_state = dict(state["loop"])
+        self._pending_watchdog_state = state["watchdog"]
+        # Mirror the loop counters immediately so a snapshot taken before
+        # the next train() call reports the restored values.
+        self._samples_since_best = int(state["loop"]["samples_since_best"])
+        self._attributed_best = bool(state["loop"]["attributed_best"])
+
+    def train(
+        self,
+        history: Optional[SearchHistory] = None,
+        run_state=None,
+    ) -> SearchHistory:
+        """Run the search; an existing ``history`` continues (fine-tuning).
+
+        ``run_state`` is an optional :class:`repro.core.runstate.RunStateManager`:
+        it snapshots the run every ``snapshot_every`` iterations and, when a
+        SIGTERM/SIGINT halt was requested, after the current iteration —
+        the loop then stops with ``history.halt_reason = "signal: ..."``.
+        """
         cfg = self.config
         tel = self._telemetry or get_telemetry()
         history = history or SearchHistory()
@@ -152,9 +215,17 @@ class JointTrainer:
             history.sim_clock = history.pretrain_clock
         env_clock_start = self.env.stats.wall_clock
         samples = history.total_samples
-        samples_since_best = 0
         self.watchdog = watchdog = HealthWatchdog(self.health, telemetry=tel)
-        attributed_best = False  # best placement already attributed?
+        if self._pending_watchdog_state is not None:
+            watchdog.load_state_dict(self._pending_watchdog_state)
+            self._pending_watchdog_state = None
+        if self._pending_loop_state is not None:
+            samples_since_best = int(self._pending_loop_state["samples_since_best"])
+            attributed_best = bool(self._pending_loop_state["attributed_best"])
+            self._pending_loop_state = None
+        else:
+            samples_since_best = 0
+            attributed_best = False  # best placement already attributed?
 
         for it in range(cfg.iterations):
             it_index = len(history.records)
@@ -288,6 +359,25 @@ class JointTrainer:
                 n_invalid=record.n_invalid,
                 n_samples=len(results),
             )
+            halt_signal = None
+            if run_state is not None:
+                self._samples_since_best = samples_since_best
+                self._attributed_best = attributed_best
+                # Snapshot when due (and always before a halt, so neither a
+                # signal nor the watchdog ever throws away finished work).
+                halt_signal = run_state.after_iteration(
+                    self, history, tel, force=watchdog.halted
+                )
+            if halt_signal:
+                history.halt_reason = f"signal: {halt_signal}"
+                tel.update_manifest(halted=True, halt_reason=history.halt_reason)
+                logger.warning(
+                    "[%s] %s received — snapshotted after iteration %d and stopping",
+                    self.env.graph.name,
+                    halt_signal,
+                    it + 1,
+                )
+                break
             if watchdog.halted:
                 history.halt_reason = watchdog.halt_reason
                 tel.update_manifest(halted=True, halt_reason=watchdog.halt_reason)
@@ -311,4 +401,11 @@ class JointTrainer:
                 history.best_placement,
                 iteration=history.records[-1].iteration if history.records else -1,
             )
+        if run_state is not None:
+            # Terminal snapshot (skipped if one was just written for this
+            # iteration count): a completed run resumes as a no-op, and an
+            # early-stopped run resumes from exactly where it stopped.
+            self._samples_since_best = samples_since_best
+            self._attributed_best = attributed_best
+            run_state.snapshot_if_new(self, history, tel, reason="final")
         return history

@@ -157,6 +157,72 @@ class PlacementEnv:
         self._batcher.shutdown()
 
     # ------------------------------------------------------------------
+    # Run-state snapshots (core/runstate.py)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cumulative stats + the LRU result cache, for crash-safe resume.
+
+        The cache is part of the *simulated clock's* semantics: a cache
+        hit charges only ``protocol.reinit_cost`` while a miss charges a
+        full measurement, so resuming with an empty cache would change
+        ``sim_clock`` — and therefore the resumed ``SearchHistory`` — in
+        a way the uninterrupted run never saw. Entries are stored in LRU
+        order (least-recent first) so eviction behaviour replays exactly.
+        """
+        if self._cache:
+            keys = np.stack(
+                [np.frombuffer(k, dtype=np.int64) for k in self._cache]
+            )
+            results = list(self._cache.values())
+        else:
+            keys = np.empty((0, self.num_ops), dtype=np.int64)
+            results = []
+        return {
+            "stats": {
+                "evaluations": int(self.stats.evaluations),
+                "cache_hits": int(self.stats.cache_hits),
+                "cache_evictions": int(self.stats.cache_evictions),
+                "invalid": int(self.stats.invalid),
+                "truncated": int(self.stats.truncated),
+                "wall_clock": float(self.stats.wall_clock),
+            },
+            "cache": {
+                "keys": keys,
+                "per_step_time": np.array([r.per_step_time for r in results], dtype=np.float64),
+                "valid": np.array([r.valid for r in results], dtype=bool),
+                "truncated": np.array([r.truncated for r in results], dtype=bool),
+                "steps_run": np.array([r.steps_run for r in results], dtype=np.int64),
+                "wall_clock": np.array([r.wall_clock for r in results], dtype=np.float64),
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        stats = state["stats"]
+        self.stats = EnvStats(
+            evaluations=int(stats["evaluations"]),
+            cache_hits=int(stats["cache_hits"]),
+            cache_evictions=int(stats["cache_evictions"]),
+            invalid=int(stats["invalid"]),
+            truncated=int(stats["truncated"]),
+            wall_clock=float(stats["wall_clock"]),
+        )
+        cache = state["cache"]
+        keys = np.asarray(cache["keys"], dtype=np.int64)
+        if keys.size and keys.shape[1] != self.num_ops:
+            raise ValueError(
+                f"cached placements have {keys.shape[1]} ops, graph has {self.num_ops}"
+            )
+        self._cache = OrderedDict()
+        for i in range(keys.shape[0]):
+            self._cache[np.ascontiguousarray(keys[i]).tobytes()] = MeasurementResult(
+                per_step_time=float(cache["per_step_time"][i]),
+                valid=bool(cache["valid"][i]),
+                truncated=bool(cache["truncated"][i]),
+                steps_run=int(cache["steps_run"][i]),
+                wall_clock=float(cache["wall_clock"][i]),
+            )
+
+    # ------------------------------------------------------------------
     # Cache (bounded LRU)
     # ------------------------------------------------------------------
     def _cache_get(self, key: bytes) -> Optional[MeasurementResult]:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -24,12 +25,23 @@ class Placement:
         self.devices = arr
         self.graph = graph
         self.cluster = cluster
+        self._hash: Optional[int] = None
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Placement) and np.array_equal(self.devices, other.devices)
 
     def __hash__(self) -> int:
-        return hash(self.devices.tobytes())
+        # Stable across processes: the measurement protocol seeds its noise
+        # from this hash, so Python's per-process salting of `hash(bytes)`
+        # (PYTHONHASHSEED) would make seeded runs irreproducible between
+        # processes — and would break crash-safe resume, which must replay
+        # the exact noisy measurements of the interrupted run.
+        if self._hash is None:
+            digest = hashlib.blake2b(
+                np.ascontiguousarray(self.devices).tobytes(), digest_size=8
+            ).digest()
+            self._hash = int.from_bytes(digest, "little") & ((1 << 63) - 1)
+        return self._hash
 
     def device_of(self, op_index: int) -> int:
         return int(self.devices[op_index])

@@ -124,6 +124,9 @@ class Telemetry:
             sample_events and enabled and not isinstance(self.events, NullRunLogger)
         )
         self._closed = False
+        # Monotonic birth time: run duration must not jump when NTP steps
+        # the wall clock mid-run; wall_time fields stay `time.time()`.
+        self._start_perf = time.perf_counter()
 
     # -- delegation sugar ----------------------------------------------
     def counter(self, name: str):
@@ -199,7 +202,11 @@ class Telemetry:
             return
         self._closed = True
         if self.run_dir:
-            self.emit("run_end", wall_time=time.time())
+            self.emit(
+                "run_end",
+                wall_time=time.time(),
+                duration_s=time.perf_counter() - self._start_perf,
+            )
             self.write_metrics()
         self.events.close()
 

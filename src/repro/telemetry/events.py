@@ -45,7 +45,22 @@ _STR = (str,)
 EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     # Run lifecycle -----------------------------------------------------
     "run_start": {"name": _STR, "wall_time": _NUM},
-    "run_end": {"wall_time": _NUM},
+    # `duration_s` is measured on the monotonic clock (time.perf_counter):
+    # wall-clock deltas would mis-report runs that span an NTP step.
+    "run_end": {"wall_time": _NUM, "duration_s": _NUM},
+    # Crash-safe run snapshots (repro.core.runstate) --------------------
+    "snapshot": {
+        "iteration": _INT,
+        "path": _STR,
+        "reason": _STR,  # periodic | signal:<NAME> | halt | final
+        "duration_s": _NUM,
+    },
+    "resume": {
+        "iteration": _INT,  # completed iterations restored from the snapshot
+        "path": _STR,
+        "samples": _INT,
+        "sim_clock": _NUM,
+    },
     # Encoder pre-training (repro.gnn.pretrain) -------------------------
     "pretrain": {"iteration": _INT, "loss": _NUM, "best_loss": _NUM},
     # RL search (repro.rl.trainer) --------------------------------------

@@ -126,6 +126,41 @@ class HealthWatchdog:
         self._last_fired: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Sliding windows + cooldown bookkeeping, for crash-safe resume.
+
+        Past alert objects are not carried over (they live in the
+        interrupted run's event log); everything that influences *future*
+        detector decisions is.
+        """
+        return {
+            "halted": bool(self.halted),
+            "halt_reason": self.halt_reason,
+            "entropies": [float(x) for x in self._entropies],
+            "invalid": [[int(a), int(b)] for a, b in self._invalid],
+            "invalid_counts": [int(x) for x in self._invalid_counts],
+            "rejects": [int(x) for x in self._rejects],
+            "bests": [float(x) for x in self._bests],
+            "observations": int(self._observations),
+            "last_fired": dict(self._last_fired),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.halted = bool(state["halted"])
+        self.halt_reason = state["halt_reason"]
+        self._entropies.clear()
+        self._entropies.extend(float(x) for x in state["entropies"])
+        self._invalid.clear()
+        self._invalid.extend((int(a), int(b)) for a, b in state["invalid"])
+        self._invalid_counts = [int(x) for x in state["invalid_counts"]]
+        self._rejects.clear()
+        self._rejects.extend(int(x) for x in state["rejects"])
+        self._bests.clear()
+        self._bests.extend(float(x) for x in state["bests"])
+        self._observations = int(state["observations"])
+        self._last_fired = {str(k): int(v) for k, v in state["last_fired"].items()}
+
+    # ------------------------------------------------------------------
     def _tel(self):
         if self._telemetry is not None:
             return self._telemetry

@@ -38,6 +38,7 @@ from __future__ import annotations
 import math
 import random
 import time
+import zlib
 from typing import Dict, List
 
 __all__ = [
@@ -100,8 +101,10 @@ class Histogram:
         self.max = float("-inf")
         self._capacity = max(1, int(reservoir_size))
         self._reservoir: List[float] = []
-        # Deterministic per-name seed keeps quantile estimates reproducible.
-        self._rng = random.Random(hash(name) & 0xFFFFFFFF)
+        # Deterministic per-name seed keeps quantile estimates reproducible
+        # — including across processes: `hash(str)` is salted per process
+        # (PYTHONHASHSEED), crc32 is not.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         value = float(value)

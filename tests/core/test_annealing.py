@@ -66,3 +66,50 @@ class TestAnnealing:
         result = anneal_placement(env, AnnealingConfig(evaluations=30, seed=4))
         assert result.wall_clock > 0
         assert env.stats.wall_clock == pytest.approx(before + result.wall_clock)
+
+
+class TestDefaultConfigNotShared:
+    """Regression: `config: AnnealingConfig = AnnealingConfig()` in the
+    signature built ONE instance at definition time, shared by every
+    call — mutating it through one caller changed the default for the
+    whole process. The default must be a fresh instance per call."""
+
+    def test_signature_default_is_none(self):
+        import inspect
+
+        sig = inspect.signature(anneal_placement)
+        assert sig.parameters["config"].default is None
+
+    def test_mutation_does_not_leak_into_next_default_call(self):
+        g, c = tiny_graph(), ClusterSpec.default()
+
+        # With the shared-default bug, this mutation would redirect every
+        # later no-config call to a different seed/budget.
+        probe = anneal_placement.__defaults__
+        assert probe == (None,)
+
+        first = anneal_placement(PlacementEnv(g, c))
+        default_cfg = AnnealingConfig()
+        default_cfg.seed += 13
+        default_cfg.evaluations = 7
+        second = anneal_placement(PlacementEnv(g, c))
+        assert len(second.runtimes) == len(first.runtimes)
+        assert second.best_runtime == first.best_runtime
+        assert np.array_equal(second.best_placement, first.best_placement)
+
+
+class TestGracefulHalt:
+    def test_halt_request_stops_schedule_early(self):
+        from repro.core.runstate import clear_halt
+        import repro.core.runstate as runstate
+
+        g, c = tiny_graph(), ClusterSpec.default()
+        env = PlacementEnv(g, c)
+        runstate._PENDING_SIGNAL = "SIGTERM"
+        try:
+            result = anneal_placement(env, AnnealingConfig(evaluations=50, seed=0))
+        finally:
+            clear_halt()
+        # Only the initial placement was evaluated before the halt check.
+        assert len(result.runtimes) == 1
+        assert result.best_placement is not None

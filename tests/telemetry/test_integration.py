@@ -105,6 +105,38 @@ class TestTrainerRunEmitsEvents:
         assert {e["ph"] for e in reloaded["traceEvents"]} & {"X", "C"}
 
 
+class TestDurationsSurviveClockSteps:
+    def test_run_duration_is_monotonic_not_wall(self, tmp_path, monkeypatch):
+        """`run_end.duration_s` must stay sane when NTP steps the wall
+        clock mid-run; the `wall_time` timestamps may (and do) jump."""
+        import time as time_module
+
+        real_time = time_module.time
+        tel = start_run("clockstep", str(tmp_path))
+        # Step the wall clock one hour into the past before close().
+        monkeypatch.setattr(time_module, "time", lambda: real_time() - 3600.0)
+        tel.close()
+
+        events = {e["type"]: e for e in read_events(tel.run_dir)}
+        start, end = events["run_start"], events["run_end"]
+        # The step is visible in the timestamps...
+        assert end["wall_time"] < start["wall_time"]
+        # ...but the duration comes from the monotonic clock.
+        assert 0.0 <= end["duration_s"] < 60.0
+
+    def test_timer_histogram_tolerates_clock_step(self, monkeypatch):
+        import time as time_module
+
+        from repro.telemetry import Telemetry
+
+        real_time = time_module.time
+        tel = Telemetry()
+        with tel.timer("step_s"):
+            monkeypatch.setattr(time_module, "time", lambda: real_time() - 3600.0)
+        snap = tel.metrics.snapshot()["histograms"]["step_s"]
+        assert 0.0 <= snap["max"] < 60.0
+
+
 class TestDisabledTelemetry:
     def test_search_runs_clean_with_telemetry_disabled(self, tmp_path):
         from dataclasses import replace

@@ -69,6 +69,18 @@ class TestHistogram:
             b.observe(float(v))
         assert a.quantile(0.5) == b.quantile(0.5)
 
+    def test_reservoir_seed_stable_across_processes(self):
+        # Regression: the per-name seed used `hash(name)`, which Python
+        # salts per process (PYTHONHASHSEED) — quantile estimates differed
+        # between runs despite the "deterministic" comment. The seed must
+        # be a process-independent digest of the name.
+        import random
+        import zlib
+
+        h = Histogram("env.makespan")
+        expected = random.Random(zlib.crc32(b"env.makespan"))
+        assert h._rng.getstate() == expected.getstate()
+
     def test_empty_quantile_nan(self):
         assert math.isnan(Histogram("h").quantile(0.5))
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Mutable-default lint: no call expressions in ``def`` defaults.
+
+Run from the repo root (``make lint-defaults`` does):
+
+    python tools/lint_defaults.py
+
+Python evaluates default arguments **once**, at function definition time.
+A default like ``config: AnnealingConfig = AnnealingConfig()`` therefore
+builds a single shared instance: every caller that omits the argument
+gets the *same object*, and any mutation through one call silently leaks
+into all the others (the bug fixed in ``repro/core/annealing.py``). The
+safe idiom is ``config: Optional[AnnealingConfig] = None`` plus
+``config = config if config is not None else AnnealingConfig()`` in the
+body — or ``dataclasses.field(default_factory=...)`` for dataclasses.
+
+This linter walks every ``*.py`` under ``src/`` and fails on any
+function-signature default (positional or keyword-only) that is a call
+expression — ``Foo()``, ``dict()``, ``[]``-building helpers and the
+like. Literal containers (``[]``, ``{}``) are flagged too, same trap.
+Immutable literals, names (``None``, ``math.inf``), attribute lookups
+and constant tuples pass.
+
+Exit status is non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+_SKIP_DIRS = {"__pycache__"}
+
+
+def iter_python_files():
+    for dirpath, dirnames, filenames in os.walk(SRC_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _bad_default(node: ast.expr) -> str:
+    """Why this default expression is unsafe, or '' if it is fine."""
+    if isinstance(node, ast.Call):
+        return "call expression (evaluated once, instance shared by every call)"
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return "mutable literal (one shared instance for every call)"
+    return ""
+
+
+def check_file(path: str) -> list:
+    errors = []
+    rel = os.path.relpath(path, REPO_ROOT)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return [f"{rel}: does not parse ({exc})"]
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            why = _bad_default(default)
+            if why:
+                errors.append(
+                    f"{rel}:{default.lineno}: default "
+                    f"`{ast.unparse(default)}` in `def {node.name}(...)` "
+                    f"is a {why}; use `Optional[...] = None` and build it "
+                    "in the body"
+                )
+    return errors
+
+
+def main() -> int:
+    files = list(iter_python_files())
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"lint-defaults: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"lint-defaults: OK ({len(files)} Python files under src/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""End-to-end crash-safe-resume smoke test (``make resume-smoke``).
+
+Three child processes, compared bit-for-bit:
+
+1. **baseline** — an uninterrupted 6-iteration search; prints its
+   ``SearchHistory`` as canonical JSON.
+2. **interrupted** — the same search with snapshots on, except a real
+   ``SIGTERM`` is delivered to the process after iteration 3 (raised from
+   inside a :class:`RunStateManager` subclass, so the genuine signal
+   handler and the trainer's finish-iteration/snapshot/halt path run).
+3. **resumed** — a *fresh* process that picks the run up with
+   ``resume=True`` and finishes it.
+
+The resumed history must equal the baseline byte-for-byte — including
+best placement, measurement clock and every per-iteration record. Using
+separate processes also regression-tests cross-process determinism of
+the snapshot format (e.g. the measurement noise seeded from the stable
+``Placement.__hash__``).
+
+Exit status is non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+ITER_TOTAL = 6
+ITER_KILL_AFTER = 3
+SEED = 0
+
+
+def _build(iterations: int):
+    from dataclasses import replace
+
+    from repro.config import fast_profile
+    from repro.sim.cluster import ClusterSpec
+    from repro.workloads import get_workload
+
+    cfg = fast_profile(seed=SEED, iterations=iterations)
+    cfg = replace(
+        cfg,
+        pretrain=replace(cfg.pretrain, iterations=5),
+        snapshot=replace(cfg.snapshot, snapshot_every=2),
+    )
+    return get_workload("vgg16"), ClusterSpec.default(), cfg
+
+
+def _print_history(result) -> None:
+    from repro.core.runstate import history_to_json
+
+    doc = history_to_json(result.history)
+    doc["final_runtime"] = repr(result.final_runtime)
+    print("HISTORY " + json.dumps(doc, sort_keys=True))
+
+
+def child_baseline() -> int:
+    from repro.core.search import optimize_placement
+
+    graph, cluster, cfg = _build(ITER_TOTAL)
+    _print_history(optimize_placement(graph, cluster, "mars", cfg))
+    return 0
+
+
+def child_interrupted(snap_dir: str) -> int:
+    from repro.core.runstate import RunStateManager, install_signal_handlers
+    from repro.core import search as search_mod
+    from repro.core.search import optimize_placement
+
+    install_signal_handlers()
+
+    class SigtermAfter(RunStateManager):
+        """Delivers a real SIGTERM once iteration ITER_KILL_AFTER ends."""
+
+        def after_iteration(self, trainer, history, telemetry=None, force=False):
+            if len(history.records) == ITER_KILL_AFTER:
+                os.kill(os.getpid(), signal.SIGTERM)
+            return super().after_iteration(trainer, history, telemetry, force=force)
+
+    search_mod.RunStateManager = SigtermAfter
+    graph, cluster, cfg = _build(ITER_TOTAL)
+    result = optimize_placement(graph, cluster, "mars", cfg, snapshot_dir=snap_dir)
+    halt = result.history.halt_reason
+    if halt != "signal: SIGTERM":
+        print(f"FAIL interrupted child: halt_reason={halt!r}", file=sys.stderr)
+        return 1
+    if len(result.history.records) != ITER_KILL_AFTER:
+        print(
+            f"FAIL interrupted child: ran {len(result.history.records)} "
+            f"iterations, expected {ITER_KILL_AFTER}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def child_resumed(snap_dir: str) -> int:
+    from repro.core.search import optimize_placement
+
+    graph, cluster, cfg = _build(ITER_TOTAL)
+    _print_history(
+        optimize_placement(graph, cluster, "mars", cfg, snapshot_dir=snap_dir, resume=True)
+    )
+    return 0
+
+
+def _run_child(role: str, *args: str) -> "subprocess.CompletedProcess":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")] if p
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), role, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        print(f"child {role!r} failed (exit {proc.returncode}):", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(1)
+    return proc
+
+
+def _history_line(proc) -> str:
+    for line in proc.stdout.splitlines():
+        if line.startswith("HISTORY "):
+            return line[len("HISTORY "):]
+    raise SystemExit("child printed no HISTORY line")
+
+
+def main() -> int:
+    snap_dir = tempfile.mkdtemp(prefix="resume-smoke-")
+    try:
+        baseline = _run_child("baseline")
+        _run_child("interrupted", snap_dir)
+        resumed = _run_child("resumed", snap_dir)
+        doc_base, doc_resumed = _history_line(baseline), _history_line(resumed)
+        if doc_base != doc_resumed:
+            print("FAIL: resumed history differs from uninterrupted baseline", file=sys.stderr)
+            print("baseline:", doc_base, file=sys.stderr)
+            print("resumed: ", doc_resumed, file=sys.stderr)
+            return 1
+        n = len(json.loads(doc_base)["records"])
+        print(f"resume-smoke: OK (SIGTERM after {ITER_KILL_AFTER}/{n} iterations, "
+              "resumed run bit-identical to uninterrupted baseline)")
+        return 0
+    finally:
+        shutil.rmtree(snap_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        role = sys.argv[1]
+        if role == "baseline":
+            sys.exit(child_baseline())
+        if role == "interrupted":
+            sys.exit(child_interrupted(sys.argv[2]))
+        if role == "resumed":
+            sys.exit(child_resumed(sys.argv[2]))
+        sys.exit(f"unknown role {role!r}")
+    sys.exit(main())
