@@ -18,10 +18,13 @@ lint-defaults:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Exercise the parallel evaluate_batch path on a tiny graph (no timings):
-# proves the pool + serial paths agree on every `make test`.
+# Exercise the parallel evaluate_batch path on a tiny graph (no timings)
+# and the incremental resume path on a real workload: proves pool ==
+# serial and resume == full simulation on every `make test`
+# (docs/performance.md).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_batch_eval.py --smoke
+	PYTHONPATH=src python benchmarks/bench_incremental.py --smoke
 
 # Tiny telemetry run -> full report with --health/--attribution -> exit 0:
 # proves the report pipeline renders real run directories on every `make test`.

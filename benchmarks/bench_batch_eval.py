@@ -23,6 +23,8 @@ into ``make test`` for exactly that purpose).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import statistics
 import sys
 import time
@@ -31,6 +33,8 @@ import numpy as np
 
 from repro.graph import CompGraph, OpNode
 from repro.sim import BatchEvalConfig, ClusterSpec, PlacementEnv
+
+JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_batch_eval.json")
 
 
 def build_graph(workload: str) -> CompGraph:
@@ -136,6 +140,29 @@ def run_benchmark(args) -> int:
     for name, best, median, speedup in rows:
         print(f"{name:<14} {best:>10.4f} {median:>10.4f} {speedup:>7.2f}x")
     print("all modes bit-identical: OK")
+    # Machine-readable record alongside the table — the cross-PR perf
+    # trajectory (docs/performance.md, "Reading BENCH_*.json").
+    doc = {
+        "benchmark": "batch_eval",
+        "workload": graph.name,
+        "ops": int(graph.num_nodes),
+        "batches": int(args.batches),
+        "samples_per_batch": int(args.samples),
+        "rounds": int(args.rounds),
+        "workers": int(args.workers),
+        "modes": {
+            name: {
+                "best_s": float(best),
+                "median_s": float(median),
+                "speedup": float(speedup),
+            }
+            for name, best, median, speedup in rows
+        },
+    }
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.json}")
     return 0
 
 
@@ -176,6 +203,7 @@ def main(argv=None) -> int:
     parser.add_argument("--samples", type=int, default=10, help="placements per rollout")
     parser.add_argument("--rounds", type=int, default=3, help="timing repetitions (best-of)")
     parser.add_argument("--workers", type=int, default=None, help="pool size (default: cpu-aware)")
+    parser.add_argument("--json", default=JSON_PATH, help="output path for the JSON record")
     parser.add_argument("--smoke", action="store_true", help="tiny graph, 2-worker pool, no timings")
     args = parser.parse_args(argv)
     if args.smoke:

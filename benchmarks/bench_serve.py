@@ -3,12 +3,26 @@
 Times the three request paths a deployment actually sees — cache hit,
 greedy miss (one argmax decode + one simulation) and refined miss
 (greedy + ``budget`` sampled candidates through ``evaluate_batch``) —
-so the serving docs' latency claims stay honest. Run with::
+so the serving docs' latency claims stay honest. Two entry points:
 
-    pytest benchmarks/bench_serve.py --benchmark-only
+* ``pytest benchmarks/bench_serve.py --benchmark-only`` — the
+  pytest-benchmark harness (calibrated statistics, nice terminal table);
+* ``PYTHONPATH=src python benchmarks/bench_serve.py`` — a standalone
+  runner that times the same paths with ``time.perf_counter`` and writes
+  ``benchmarks/BENCH_serve.json``, the machine-readable record the
+  cross-PR perf trajectory accumulates (docs/performance.md).
 """
 
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
 import pytest
+
+JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_serve.json")
 
 from repro.config import fast_profile
 from repro.core import save_agent
@@ -79,3 +93,71 @@ def test_fingerprint_only(benchmark, graph_doc):
     graph = graph_from_dict(graph_doc)
     fp = benchmark(graph.fingerprint)
     assert len(fp) == 64
+
+
+# ----------------------------------------------------------------------
+# Standalone runner: same paths, plain perf_counter, JSON output
+# ----------------------------------------------------------------------
+def _time_path(fn, rounds: int):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {"best_s": float(min(times)), "median_s": float(statistics.median(times))}
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=20, help="timing repetitions per path")
+    parser.add_argument("--budget", type=int, default=8, help="refinement budget for the refined path")
+    parser.add_argument("--json", default=JSON_PATH, help="output path for the JSON record")
+    args = parser.parse_args(argv)
+
+    graph = build_vgg16(scale=0.25, batch_size=4)
+    graph_doc = graph_to_dict(graph)
+    cfg = fast_profile(seed=0)
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as ckpt_dir:
+        agent, _ = build_agent("mars_no_pretrain", graph, CLUSTER, cfg, None)
+        save_agent(
+            os.path.join(ckpt_dir, "mars__vgg"), agent, "mars",
+            workload=graph.name, config=cfg,
+        )
+        svc = PlacementService(PolicyRegistry(ckpt_dir), config=ServeConfig())
+        try:
+            # Warm the agent/env caches so timings see steady state.
+            svc.handle(PlacementRequest(graph=graph_doc))
+            paths = {
+                "cache_hit": lambda: svc.handle(PlacementRequest(graph=graph_doc)),
+                "greedy_miss": lambda: svc.handle(
+                    PlacementRequest(graph=graph_doc, use_cache=False)
+                ),
+                "refined_miss": lambda: svc.handle(
+                    PlacementRequest(graph=graph_doc, budget=args.budget, use_cache=False)
+                ),
+            }
+            results = {name: _time_path(fn, args.rounds) for name, fn in paths.items()}
+        finally:
+            svc.close()
+    print(f"{'path':<14} {'best_ms':>10} {'median_ms':>10}")
+    for name, row in results.items():
+        print(f"{name:<14} {row['best_s'] * 1e3:>10.3f} {row['median_s'] * 1e3:>10.3f}")
+    doc = {
+        "benchmark": "serve",
+        "workload": graph.name,
+        "ops": int(graph.num_nodes),
+        "rounds": int(args.rounds),
+        "budget": int(args.budget),
+        "paths": results,
+    }
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

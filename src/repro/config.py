@@ -18,6 +18,7 @@ from repro.rl.ppo import PPOConfig
 from repro.rl.reward import RewardConfig
 from repro.rl.trainer import TrainerConfig
 from repro.sim.batch import BatchEvalConfig
+from repro.sim.incremental import IncrementalEvalConfig
 from repro.telemetry import HealthConfig, TelemetryConfig
 
 
@@ -94,6 +95,12 @@ class MarsConfig:
     # The default is cpu-count-aware with a deterministic serial
     # fallback, so seeded runs reproduce on any machine.
     eval_batch: BatchEvalConfig = field(default_factory=BatchEvalConfig)
+    # Incremental makespan re-evaluation (docs/performance.md): resume
+    # near-anchor placements from the anchored baseline's snapshots
+    # instead of resimulating from scratch. Bit-identical to the full
+    # simulator by contract; the runner exposes ``--no-incremental`` for
+    # A/B runs.
+    incremental: IncrementalEvalConfig = field(default_factory=IncrementalEvalConfig)
     # Crash-safe resumable runs (docs/architecture.md §"Run state &
     # resume"): cadence and retention of run-state snapshots, used when
     # ``optimize_placement`` is given a ``snapshot_dir`` (the runner's

@@ -140,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force the deterministic serial evaluation path (no pool)",
     )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable incremental makespan re-evaluation (full simulation "
+        "for every placement; results are bit-identical either way — "
+        "see docs/performance.md and EXPERIMENTS.md, 'Evaluation speed')",
+    )
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -155,6 +162,10 @@ def main(argv=None) -> int:
         config = replace(config, health=replace(config.health, enabled=False))
     elif args.health is not None:
         config = replace(config, health=replace(config.health, action=args.health))
+    if args.no_incremental:
+        config = replace(
+            config, incremental=replace(config.incremental, enabled=False)
+        )
     if args.serial_eval:
         config = replace(config, eval_batch=replace(config.eval_batch, mode="serial"))
     elif args.eval_workers is not None:

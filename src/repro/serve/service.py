@@ -41,6 +41,7 @@ from repro.serve.registry import LoadedPolicy, PolicyRegistry, PolicySpec
 from repro.sim.batch import BatchEvalConfig
 from repro.sim.cluster import ClusterSpec
 from repro.sim.env import PlacementEnv
+from repro.sim.incremental import IncrementalEvalConfig
 from repro.telemetry import HealthConfig, HealthWatchdog, Telemetry, get_telemetry
 from repro.utils.logging import get_logger
 
@@ -204,6 +205,7 @@ class PlacementService:
         telemetry: Optional[Telemetry] = None,
         health: Optional[HealthConfig] = None,
         eval_batch: Optional[BatchEvalConfig] = None,
+        incremental: Optional[IncrementalEvalConfig] = None,
     ):
         self.registry = registry
         self.config = config or ServeConfig()
@@ -211,6 +213,12 @@ class PlacementService:
         # Serving envs default to the serial evaluator: refinement batches
         # are small and a process pool per cached env would dominate cost.
         self.eval_batch = eval_batch or BatchEvalConfig(mode="serial")
+        # Incremental re-evaluation for the refinement batches: each
+        # request anchors its greedy decode, so sampled candidates that
+        # stay near it resume instead of resimulating (docs/performance.md).
+        self.incremental = (
+            incremental if incremental is not None else IncrementalEvalConfig()
+        )
         self.cache = FingerprintCache(
             capacity=self.config.cache_capacity, ttl=self.config.cache_ttl
         )
@@ -336,7 +344,9 @@ class PlacementService:
                 self._env_order.remove(key)
                 self._env_order.append(key)
                 return env
-        env = PlacementEnv(graph, cluster, batch=self.eval_batch)
+        env = PlacementEnv(
+            graph, cluster, batch=self.eval_batch, incremental=self.incremental
+        )
         with self._lock:
             if key not in self._envs:
                 self._envs[key] = env
@@ -382,6 +392,10 @@ class PlacementService:
                     env.resolve(actions).devices for actions in rollout.placements
                 )
 
+        # Anchor the incremental baseline on the greedy decode: the
+        # sampled candidates are policy draws around it, so near misses
+        # resume from its schedule instead of resimulating from scratch.
+        env.anchor_incremental(candidates[0])
         results = env.evaluate_batch(candidates)
         best_index = 0
         best_time = float("inf")

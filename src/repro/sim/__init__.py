@@ -22,6 +22,14 @@ from repro.sim.attribution import (
 )
 from repro.sim.measurement import MeasurementProtocol, MeasurementResult
 from repro.sim.batch import BatchEvalConfig, BatchEvaluator, EvalOutcome, PureEvaluator
+from repro.sim.incremental import (
+    IncrementalEvalConfig,
+    IncrementalEvaluator,
+    ScheduleBaseline,
+    ScheduleTables,
+    build_baseline,
+    resume_schedule,
+)
 from repro.sim.env import PlacementEnv
 
 __all__ = [
@@ -34,6 +42,12 @@ __all__ = [
     "BatchEvaluator",
     "EvalOutcome",
     "PureEvaluator",
+    "IncrementalEvalConfig",
+    "IncrementalEvaluator",
+    "ScheduleBaseline",
+    "ScheduleTables",
+    "build_baseline",
+    "resume_schedule",
     "DeviceSpec",
     "ClusterSpec",
     "Placement",

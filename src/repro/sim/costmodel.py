@@ -35,11 +35,47 @@ class CostModel:
         return device.launch_overhead + max(compute, memory)
 
     def op_time_matrix(self, graph: CompGraph, cluster: ClusterSpec) -> np.ndarray:
-        """Precomputed ``(num_ops, num_devices)`` time table."""
-        out = np.empty((graph.num_nodes, cluster.num_devices))
+        """Precomputed ``(num_ops, num_devices)`` time table.
+
+        Vectorized over ops per device — same IEEE-754 operations in the
+        same per-element order as :meth:`op_time`, so the table is
+        bit-identical to the scalar loop it replaced. A subclass that
+        overrides ``op_time`` gets the scalar loop (the closed form below
+        would silently disagree with it).
+        """
+        n, d = graph.num_nodes, cluster.num_devices
+        out = np.empty((n, d))
+        if type(self).op_time is not CostModel.op_time:
+            for j, dev in enumerate(cluster.devices):
+                for i, node in enumerate(graph.nodes):
+                    out[i, j] = self.op_time(node, dev)
+            return out
+        nodes = graph.nodes
+        scaled_flops = self.backward_factor * np.array(
+            [node.flops for node in nodes], dtype=np.float64
+        )
+        touched = np.array(
+            [
+                self.memory_traffic_factor * node.activation_bytes
+                + 2.0 * node.param_bytes
+                for node in nodes
+            ],
+            dtype=np.float64,
+        )
+        # Efficiency lookups dedupe through op-type ids: one dict probe
+        # per distinct op type per device instead of one per op.
+        type_index: dict = {}
+        type_ids = np.array(
+            [type_index.setdefault(node.op_type, len(type_index)) for node in nodes],
+            dtype=np.intp,
+        )
         for j, dev in enumerate(cluster.devices):
-            for i, node in enumerate(graph.nodes):
-                out[i, j] = self.op_time(node, dev)
+            eff = np.array(
+                [dev.efficiency_for(t) for t in type_index], dtype=np.float64
+            )[type_ids]
+            compute = scaled_flops / (dev.peak_flops * eff)
+            memory = touched / dev.mem_bandwidth
+            out[:, j] = dev.launch_overhead + np.maximum(compute, memory)
         return out
 
     def transfer_time(

@@ -21,7 +21,7 @@ real machine), so long searches hold a fixed amount of memory.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +31,7 @@ from repro.sim.attribution import PlacementAttribution, attribute_schedule
 from repro.sim.batch import BatchEvalConfig, BatchEvaluator, EvalOutcome, PureEvaluator
 from repro.sim.cluster import ClusterSpec
 from repro.sim.costmodel import CostModel
+from repro.sim.incremental import IncrementalEvalConfig, IncrementalEvaluator
 from repro.sim.measurement import MeasurementProtocol, MeasurementResult
 from repro.sim.memory import MemoryModel
 from repro.sim.placement import Placement, resolve_placement
@@ -47,6 +48,12 @@ class EnvStats:
     invalid: int = 0
     truncated: int = 0
     wall_clock: float = 0.0  # simulated seconds spent measuring placements
+    #: Evaluations served by the incremental fast path (sim/incremental.py)
+    #: vs. attempts that fell back to full simulation. Results are
+    #: bit-identical either way — these only measure how often the fast
+    #: path pays off.
+    incremental_hits: int = 0
+    incremental_fallbacks: int = 0
 
 
 class PlacementEnv:
@@ -62,6 +69,7 @@ class PlacementEnv:
         telemetry: Optional[Telemetry] = None,
         batch: Optional[BatchEvalConfig] = None,
         cache_capacity: Optional[int] = None,
+        incremental: Optional[IncrementalEvalConfig] = None,
     ):
         self.graph = graph
         self._telemetry = telemetry  # None -> ambient session per evaluate()
@@ -83,6 +91,19 @@ class PlacementEnv:
         self._mem_per_op = self._evaluator.mem_per_op
         self._capacity = self._evaluator.capacity
         self._batcher = BatchEvaluator(self._evaluator, self.batch_config)
+        # Incremental re-evaluation state: anchored to the best valid
+        # placement seen (or an explicit anchor from a refinement loop).
+        # Strictly local — pool workers always run the full simulator.
+        self.incremental_config = (
+            incremental if incremental is not None else IncrementalEvalConfig()
+        )
+        self._incremental = IncrementalEvaluator(
+            self.graph,
+            self.cluster,
+            self.cost_model,
+            self._op_times,
+            self.incremental_config,
+        )
         # Bounded LRU result cache: one entry per unique placement, capped
         # so long searches hold constant memory (<=0 means unbounded).
         cap = (
@@ -185,7 +206,10 @@ class PlacementEnv:
                 "invalid": int(self.stats.invalid),
                 "truncated": int(self.stats.truncated),
                 "wall_clock": float(self.stats.wall_clock),
+                "incremental_hits": int(self.stats.incremental_hits),
+                "incremental_fallbacks": int(self.stats.incremental_fallbacks),
             },
+            "incremental": self._incremental.state_dict(),
             "cache": {
                 "keys": keys,
                 "per_step_time": np.array([r.per_step_time for r in results], dtype=np.float64),
@@ -205,7 +229,13 @@ class PlacementEnv:
             invalid=int(stats["invalid"]),
             truncated=int(stats["truncated"]),
             wall_clock=float(stats["wall_clock"]),
+            # Absent in snapshots written before the incremental fast path
+            # existed — they resume with zeroed counters and no anchor.
+            incremental_hits=int(stats.get("incremental_hits", 0)),
+            incremental_fallbacks=int(stats.get("incremental_fallbacks", 0)),
         )
+        if "incremental" in state:
+            self._incremental.load_state_dict(state["incremental"])
         cache = state["cache"]
         keys = np.asarray(cache["keys"], dtype=np.int64)
         if keys.size and keys.shape[1] != self.num_ops:
@@ -300,6 +330,19 @@ class PlacementEnv:
                 per_step_time=float(result.per_step_time),
                 steps_run=int(result.steps_run),
             )
+        if outcome.incremental is not None:
+            if outcome.incremental:
+                self.stats.incremental_hits += 1
+                tel.counter("env.incremental_hits").inc()
+            else:
+                self.stats.incremental_fallbacks += 1
+                tel.counter("env.incremental_fallbacks").inc()
+        # Keep the incremental baseline anchored to the best valid
+        # placement seen so far (cheap: the build itself is lazy).
+        if result.valid and np.isfinite(outcome.makespan):
+            self._incremental.maybe_anchor(
+                np.frombuffer(key, dtype=np.int64), outcome.makespan
+            )
         if tel.sample_events:
             tel.emit(
                 "eval",
@@ -316,6 +359,18 @@ class PlacementEnv:
             )
 
     # ------------------------------------------------------------------
+    def anchor_incremental(self, actions: Sequence[int]) -> None:
+        """Re-anchor the incremental baseline to ``actions``.
+
+        Refinement loops (annealing's incumbent, serving's greedy decode)
+        call this so the placements they evaluate next — single-op
+        neighbours of the anchor — take the incremental fast path. The
+        baseline itself is built lazily on the next evaluation. A no-op
+        when the fast path is disabled or the graph is below ``min_ops``.
+        """
+        placement = self.resolve(actions)
+        self._incremental.anchor(placement.devices)
+
     def evaluate(self, actions: Sequence[int]) -> MeasurementResult:
         """Measure a placement proposed by the agent (cached)."""
         tel = self._telemetry or get_telemetry()
@@ -325,9 +380,31 @@ class PlacementEnv:
         if cached is not None:
             self._record_cache_hit(cached, tel)
             return cached
-        outcome = self._evaluator.compute(placement.devices, hash(placement))
+        inc = self._incremental if self._incremental.ready else None
+        outcome = self._evaluator.compute(
+            placement.devices, hash(placement), incremental=inc
+        )
         self._record_outcome(key, outcome, tel)
         return outcome.result
+
+    def _apply_compute(
+        self, placement: Placement, pool_outcome: Optional[EvalOutcome]
+    ) -> EvalOutcome:
+        """Outcome for one uncached batch entry, exactly as a sequential
+        ``evaluate`` would have produced it at this point in the apply
+        replay: same incremental hit/fallback decision against the
+        *current* anchor (which earlier entries may have moved). A pool
+        outcome, when available, supplies the numbers — they are
+        bit-identical to the local paths — and only the ``incremental``
+        classification is filled in."""
+        inc = self._incremental if self._incremental.ready else None
+        if pool_outcome is None:
+            return self._evaluator.compute(
+                placement.devices, hash(placement), incremental=inc
+            )
+        if inc is None or not pool_outcome.result.valid:
+            return pool_outcome
+        return replace(pool_outcome, incremental=inc.would_resume(placement.devices))
 
     def evaluate_batch(self, actions_batch: Sequence[Sequence[int]]) -> List[MeasurementResult]:
         """Measure a batch of placements; equivalent to — but faster than —
@@ -337,22 +414,33 @@ class PlacementEnv:
 
         1. **Dedupe.** Resolve every placement and drop batch entries whose
            key is already cached or duplicates an earlier entry, *before*
-           any scheduling work.
-        2. **Compute.** Fan the unique placements out across the worker
-           pool (or the serial fallback) — pure compute, no shared state.
+           any scheduling work. Entries predicted to take the incremental
+           fast path stay local too — resuming them here is cheaper than
+           shipping them to a worker that would resimulate from scratch.
+        2. **Compute.** Fan the remaining unique placements out across the
+           worker pool (or the serial fallback) — pure compute, no shared
+           state.
         3. **Apply.** Replay the batch in its original order against the
            cache/stats/telemetry, mirroring what a sequential loop of
-           ``evaluate`` calls would have done step by step.
+           ``evaluate`` calls would have done step by step — including the
+           per-entry incremental hit/fallback decision, which is always
+           made here against the anchor state earlier entries left behind
+           (the phase-1 prediction is only a routing hint).
         """
         tel = self._telemetry or get_telemetry()
         placements = [self.resolve(a) for a in actions_batch]
         keys = [p.devices.tobytes() for p in placements]
 
+        inc = self._incremental
         jobs: List[Tuple[np.ndarray, int]] = []
         job_index = {}
+        seen = set()
         for placement, key in zip(placements, keys):
-            if key in self._cache or key in job_index:
+            if key in self._cache or key in seen:
                 continue
+            seen.add(key)
+            if inc.ready and inc.would_resume(placement.devices):
+                continue  # predicted hit: computed locally in the apply loop
             job_index[key] = len(jobs)
             jobs.append((placement.devices, hash(placement)))
 
@@ -365,29 +453,28 @@ class PlacementEnv:
                 self._record_cache_hit(cached, tel)
                 results.append(cached)
                 continue
+            # Uncached: either predicted-incremental (computed here), pool
+            # computed (classified here), or cached-then-evicted during
+            # this very apply loop (recomputed, exactly as the sequential
+            # path would have after the same eviction).
             index = job_index.get(key)
-            if index is None:
-                # The key was cached during phase 1 but evicted by the
-                # apply loop's own inserts — recompute, exactly as the
-                # sequential path would have after the same eviction.
-                outcome = self._evaluator.compute(placement.devices, hash(placement))
-            else:
-                outcome = outcomes[index]
+            pool_outcome = outcomes[index] if index is not None else None
+            outcome = self._apply_compute(placement, pool_outcome)
             self._record_outcome(key, outcome, tel)
             results.append(outcome.result)
 
         n = len(placements)
         if n:
-            unique = len(jobs)
+            unique = len(seen)
             tel.counter("env.batches").inc()
             tel.histogram("env.batch_size").observe(n)
             tel.histogram("env.batch_dedupe_rate").observe(1.0 - unique / n)
             tel.gauge("env.eval_pool_workers").set(pool_workers)
-            if pool_workers and unique:
+            if pool_workers and jobs:
                 # Fraction of pool slots busy across the batch's waves.
-                waves = -(-unique // pool_workers)  # ceil division
+                waves = -(-len(jobs) // pool_workers)  # ceil division
                 tel.histogram("env.batch_pool_utilization").observe(
-                    unique / (waves * pool_workers)
+                    len(jobs) / (waves * pool_workers)
                 )
         return results
 

@@ -1,0 +1,188 @@
+"""Bit-identity properties for incremental re-evaluation.
+
+The contract (docs/performance.md): whenever ``resume_schedule`` accepts
+a placement, its ``StepResult`` is *bit-identical* — not approximately
+equal — to a full ``Scheduler.run_step`` of the same placement, and the
+environment produces identical ``MeasurementResult``s with the fast path
+on or off. Hypothesis's tiny ``random_dag`` (2–16 ops) sits below the
+``min_ops`` gate, so these tests roll their own numpy-seeded generator
+of 33–72-op DAGs and parametrize over seeds: well over 200 randomized
+(graph, delta, seed) cases per run, forced-fallback cases included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import CompGraph, OpNode
+from repro.sim import (
+    ClusterSpec,
+    CostModel,
+    IncrementalEvalConfig,
+    MeasurementProtocol,
+    Placement,
+    PlacementEnv,
+    Scheduler,
+    ScheduleTables,
+    build_baseline,
+    resume_schedule,
+)
+
+OP_TYPES = ["MatMul", "Conv2D", "ReLU", "Concat"]
+
+
+def random_graph(seed: int) -> CompGraph:
+    """A 33–72-op DAG with forward-only random edges and random costs."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(33, 73))
+    g = CompGraph(f"rand{seed}")
+    for i in range(n):
+        g.add_node(
+            OpNode(
+                f"op{i}",
+                OP_TYPES[int(rng.integers(0, len(OP_TYPES)))],
+                output_shape=(int(rng.integers(1, 64)), int(rng.integers(1, 64))),
+                flops=float(rng.uniform(0, 1e9)),
+                param_bytes=float(rng.uniform(0, 1e6)),
+                activation_bytes=float(rng.uniform(0, 1e6)),
+            )
+        )
+    for v in range(1, n):
+        for u in rng.choice(v, size=min(v, int(rng.integers(1, 4))), replace=False):
+            g.add_edge(f"op{int(u)}", f"op{v}")
+    return g
+
+
+def random_cluster(rng) -> ClusterSpec:
+    return ClusterSpec.default(num_gpus=int(rng.integers(2, 6)))
+
+
+def mutate(anchor: np.ndarray, num_devices: int, rng, max_moves: int = 5) -> np.ndarray:
+    devices = anchor.copy()
+    for _ in range(int(rng.integers(1, max_moves + 1))):
+        op = int(rng.integers(0, len(anchor)))
+        devices[op] = (devices[op] + 1 + rng.integers(0, num_devices - 1)) % num_devices
+    return devices
+
+
+def assert_step_identical(resumed, full) -> None:
+    """Every field the fast path reconstructs, compared exactly."""
+    assert resumed.makespan == full.makespan
+    assert np.array_equal(resumed.finish_times, full.finish_times)
+    assert np.array_equal(resumed.start_times, full.start_times)
+    assert np.array_equal(resumed.device_busy, full.device_busy)
+    assert resumed.comm_time == full.comm_time
+    assert resumed.comm_bytes == full.comm_bytes
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_resume_is_bit_identical(seed):
+    """25 graphs x 8 deltas = 200 (graph, delta) cases of exact equality.
+
+    ``max_dirty_fraction=1.0`` forces a resume whenever one is possible
+    at all, so only source-op moves fall back and nearly every delta
+    exercises the drain loop.
+    """
+    rng = np.random.default_rng(1000 + seed)
+    graph = random_graph(seed)
+    cluster = random_cluster(rng)
+    cm = CostModel()
+    scheduler = Scheduler(cm)
+    op_times = cm.op_time_matrix(graph, cluster)
+    config = IncrementalEvalConfig(max_dirty_fraction=1.0)
+    tables = ScheduleTables(graph, cluster, cm, op_times)
+    anchor = rng.integers(0, cluster.num_devices, graph.num_nodes)
+    baseline = build_baseline(tables, anchor, config)
+
+    hits = 0
+    for _ in range(8):
+        devices = mutate(anchor, cluster.num_devices, rng)
+        resumed = resume_schedule(baseline, devices, config)
+        if resumed is None:
+            continue
+        hits += 1
+        full = scheduler.run_step(Placement(devices, graph, cluster), op_times)
+        assert_step_identical(resumed, full)
+    assert hits >= 4  # with max_dirty=1.0 only source moves can miss
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_forced_fallbacks_never_lie(seed):
+    """Fallback cases return None — they never return a wrong result.
+
+    Source-op moves (dirty from t=0) and a near-zero dirty budget both
+    force the miss path; a miss must be an honest ``None``.
+    """
+    rng = np.random.default_rng(2000 + seed)
+    graph = random_graph(100 + seed)
+    cluster = random_cluster(rng)
+    cm = CostModel()
+    op_times = cm.op_time_matrix(graph, cluster)
+    tables = ScheduleTables(graph, cluster, cm, op_times)
+    anchor = rng.integers(0, cluster.num_devices, graph.num_nodes)
+
+    strict = IncrementalEvalConfig(max_dirty_fraction=1e-9)
+    baseline = build_baseline(tables, anchor, strict)
+    for _ in range(5):
+        devices = mutate(anchor, cluster.num_devices, rng)
+        if np.array_equal(devices, anchor):
+            continue
+        assert resume_schedule(baseline, devices, strict) is None
+
+    loose = IncrementalEvalConfig(max_dirty_fraction=1.0)
+    baseline = build_baseline(tables, anchor, loose)
+    sources = [i for i in range(graph.num_nodes) if not graph.predecessors(i)]
+    for src in sources[:3]:
+        devices = anchor.copy()
+        devices[src] = (devices[src] + 1) % cluster.num_devices
+        assert resume_schedule(baseline, devices, loose) is None
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_env_results_identical_with_and_without_fast_path(seed):
+    """``PlacementEnv.evaluate`` returns the same MeasurementResult —
+    noise, penalties and all — with incremental on vs off, across
+    randomized measurement-noise seeds."""
+    rng = np.random.default_rng(3000 + seed)
+    graph = random_graph(200 + seed)
+    cluster = random_cluster(rng)
+    protocol = MeasurementProtocol(seed=int(rng.integers(0, 2**31)))
+
+    on = PlacementEnv(graph, cluster, protocol=protocol)
+    off = PlacementEnv(
+        graph, cluster, protocol=protocol,
+        incremental=IncrementalEvalConfig(enabled=False),
+    )
+    anchor = rng.integers(0, cluster.num_devices, graph.num_nodes)
+    on.anchor_incremental(anchor)
+    off.anchor_incremental(anchor)
+
+    for _ in range(10):
+        devices = mutate(anchor, cluster.num_devices, rng)
+        assert on.evaluate(devices) == off.evaluate(devices)
+    # The fast path must actually have fired for this test to mean much.
+    assert on.stats.incremental_hits + on.stats.incremental_fallbacks > 0
+    assert off.stats.incremental_hits == 0 and off.stats.incremental_fallbacks == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_evaluate_batch_matches_sequential_with_fast_path(seed):
+    """The batch ≡ sequential contract survives the fast path: identical
+    results, cache contents, stats and incremental counters."""
+    rng = np.random.default_rng(4000 + seed)
+    graph = random_graph(300 + seed)
+    cluster = random_cluster(rng)
+    protocol = MeasurementProtocol(seed=int(rng.integers(0, 2**31)))
+    anchor = rng.integers(0, cluster.num_devices, graph.num_nodes)
+    batch = [mutate(anchor, cluster.num_devices, rng) for _ in range(9)]
+    batch.append(batch[0].copy())  # in-batch duplicate
+
+    seq_env = PlacementEnv(graph, cluster, protocol=protocol)
+    seq_env.anchor_incremental(anchor)
+    seq = [seq_env.evaluate(a) for a in batch]
+
+    batch_env = PlacementEnv(graph, cluster, protocol=protocol)
+    batch_env.anchor_incremental(anchor)
+    batched = batch_env.evaluate_batch(batch)
+
+    assert batched == seq
+    assert batch_env.stats == seq_env.stats

@@ -146,3 +146,25 @@ def test_evaluate_batch_matches_sequential(case, n_samples):
     assert batched == sequential
     assert batch_env.stats == seq_env.stats
     assert list(batch_env._cache.keys()) == list(seq_env._cache.keys())
+
+
+@given(dag_and_placement(), st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_trace_does_not_change_results(case, num_gpus):
+    """``run_step(trace=True)`` is observation, not intervention: every
+    numeric field is identical to the untraced run, across random graphs
+    and cluster sizes; only the ``transfers`` record appears."""
+    g, devices = case
+    cluster = ClusterSpec.default(num_gpus=num_gpus)
+    placement = resolve_placement(devices % cluster.num_devices, g, cluster)
+    plain = SCHED.run_step(placement)
+    traced = SCHED.run_step(placement, trace=True)
+    assert traced.makespan == plain.makespan
+    assert np.array_equal(traced.start_times, plain.start_times)
+    assert np.array_equal(traced.finish_times, plain.finish_times)
+    assert np.array_equal(traced.device_busy, plain.device_busy)
+    assert traced.comm_time == plain.comm_time
+    assert traced.comm_bytes == plain.comm_bytes
+    assert plain.transfers is None
+    assert traced.transfers is not None
+    assert sum(t.nbytes for t in traced.transfers) == traced.comm_bytes

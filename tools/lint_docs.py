@@ -5,12 +5,18 @@ Run from the repo root (``make lint-docs`` does):
 
     python tools/lint_docs.py
 
-Two checks, both stdlib-only:
+Three checks, all stdlib-only:
 
 1. Every relative link/image target in the repo's Markdown files must
    exist on disk (``http(s)://``, ``mailto:`` and pure ``#anchor`` links
    are skipped; a ``target#anchor`` suffix is stripped before the check).
-2. Every ``tests/fixtures/*.jsonl`` event fixture must parse as JSONL
+2. Every repo-looking path named in inline code in ``docs/*.md`` (e.g.
+   ```` `src/repro/sim/incremental.py` ````) must exist, resolved
+   against the repo root, ``src/`` and ``src/repro/``. Only tokens whose
+   first segment is a real top-level directory count as path claims, so
+   illustrative paths (``runs/<id>/events.jsonl``) and globs stay exempt;
+   fenced code blocks are skipped like the link check.
+3. Every ``tests/fixtures/*.jsonl`` event fixture must parse as JSONL
    and validate against the event schema in ``repro.telemetry.events``
    — keeping docs/observability.md's schema reference, the fixtures,
    and the code in sync. Coverage is also enforced: every event type
@@ -70,6 +76,42 @@ def check_markdown_links() -> list:
     return errors
 
 
+# Inline `code` spans; path tokens inside them are promises about the tree.
+_CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+_PATH_TOKEN_RE = re.compile(r"[A-Za-z0-9_][A-Za-z0-9_./-]*")
+_PATH_EXTS = (".py", ".md", ".json", ".jsonl", ".txt", ".toml", ".cfg", ".ini", ".yaml", ".yml")
+
+
+def _iter_path_tokens(span: str):
+    for token in _PATH_TOKEN_RE.findall(span):
+        token = token.rstrip(".")  # trailing sentence punctuation
+        if "/" in token and token.endswith(_PATH_EXTS):
+            yield token
+
+
+def check_doc_path_references() -> list:
+    """Stale-path check: docs/*.md must not name files that do not exist."""
+    errors = []
+    roots = (
+        REPO_ROOT,
+        os.path.join(REPO_ROOT, "src"),
+        os.path.join(REPO_ROOT, "src", "repro"),
+    )
+    for path in sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))):
+        rel = os.path.relpath(path, REPO_ROOT)
+        text = strip_code_blocks(open(path, encoding="utf-8").read())
+        for span in _CODE_SPAN_RE.finditer(text):
+            for token in _iter_path_tokens(span.group(1)):
+                if any(os.path.exists(os.path.join(root, token)) for root in roots):
+                    continue
+                # Only a repo-path claim if the leading segment is a real
+                # top-level directory; leaves illustrative paths alone.
+                head = token.split("/", 1)[0]
+                if any(os.path.isdir(os.path.join(root, head)) for root in roots):
+                    errors.append(f"{rel}: stale path reference -> {token}")
+    return errors
+
+
 def check_event_fixtures() -> list:
     errors = []
     pattern = os.path.join(REPO_ROOT, "tests", "fixtures", "*.jsonl")
@@ -102,7 +144,9 @@ def check_event_fixtures() -> list:
 
 
 def main() -> int:
-    errors = check_markdown_links() + check_event_fixtures()
+    errors = (
+        check_markdown_links() + check_doc_path_references() + check_event_fixtures()
+    )
     for error in errors:
         print(error, file=sys.stderr)
     n_md = len(list(iter_markdown_files()))
