@@ -25,6 +25,7 @@ bench:
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_batch_eval.py --smoke
 	PYTHONPATH=src python benchmarks/bench_incremental.py --smoke
+	PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke
 
 # Tiny telemetry run -> full report with --health/--attribution -> exit 0:
 # proves the report pipeline renders real run directories on every `make test`.

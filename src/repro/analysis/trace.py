@@ -86,6 +86,7 @@ def placement_to_chrome_trace(
 _PID_ENV = 0
 _PID_TRAINER = 1
 _PID_PRETRAIN = 2
+_PID_SPANS = 3
 
 
 def _finite(value) -> bool:
@@ -107,6 +108,11 @@ def events_to_chrome_trace(
       iteration's sample/invalid counts in ``args``; ``update`` events
       appear as instant markers,
     * **pre-training** track — one slice per DGI iteration (unit width),
+    * **spans** track — one slice per ``span`` event
+      (``repro.telemetry.tracing``), one thread row per ``trace_id``, on
+      the *wall* clock normalized to the earliest span start (span wall
+      times and the simulated clock are different timebases; keeping them
+      on a separate pid keeps both readable),
     * counter tracks — ``best_runtime``, ``baseline``, ``entropy``.
 
     ``events`` may be any iterable of event dicts — typically
@@ -121,6 +127,7 @@ def events_to_chrome_trace(
     prev_iter_clock = 0.0
     last_clock = 0.0
     seen_pretrain = False
+    spans = []  # collected first; normalized to the earliest start below
     for event in events:
         etype = event.get("type")
         if etype == "eval":
@@ -222,6 +229,37 @@ def events_to_chrome_trace(
                 "args": {"loss": event.get("loss"),
                          "best_loss": event.get("best_loss")},
             })
+        elif etype == "span":
+            if _finite(event.get("start_unix")) and _finite(event.get("duration_s")):
+                spans.append(event)
+    if spans:
+        out.append({"name": "process_name", "ph": "M", "pid": _PID_SPANS,
+                    "args": {"name": "spans (wall clock)"}})
+        t0 = min(event["start_unix"] for event in spans)
+        # One thread row per trace: concurrent requests stack instead of
+        # overlapping into one unreadable lane.
+        tids = {}
+        for event in spans:
+            trace_id = event.get("trace_id", "")
+            tid = tids.setdefault(trace_id, len(tids))
+            out.append({
+                "name": event.get("name", "span"),
+                "cat": event.get("status", "ok"),
+                "ph": "X",
+                "pid": _PID_SPANS,
+                "tid": tid,
+                "ts": (event["start_unix"] - t0) * 1e6,
+                "dur": max(event["duration_s"] * 1e6, 0.01),
+                "args": {
+                    "trace_id": trace_id,
+                    "span_id": event.get("span_id"),
+                    "parent_id": event.get("parent_id"),
+                    "status": event.get("status"),
+                },
+            })
+        for trace_id, tid in tids.items():
+            out.append({"name": "thread_name", "ph": "M", "pid": _PID_SPANS,
+                        "tid": tid, "args": {"name": f"trace {trace_id}"}})
     doc = {"traceEvents": out, "displayTimeUnit": "ms"}
     if path:
         with open(path, "w") as fh:

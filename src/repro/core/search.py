@@ -29,6 +29,7 @@ from repro.sim.cluster import ClusterSpec
 from repro.sim.env import PlacementEnv
 from repro.sim.measurement import MeasurementProtocol
 from repro.telemetry import Telemetry, telemetry_from_config, use_telemetry
+from repro.telemetry.tracing import span
 from repro.utils.logging import get_logger
 
 logger = get_logger("repro.core.search")
@@ -238,24 +239,34 @@ def optimize_placement(
                     workload=graph.name,
                     mars_config=config,
                 )
-            history = trainer.train(history, run_state=run_state)
-            if history.halt_reason is not None and not history.halt_reason.startswith(
-                "signal"
+            # Trace root for the whole search: trainer.iteration spans and
+            # the env spans below them all join this trace (only when the
+            # session writes event files — in-memory runs record nothing).
+            with span(
+                "search.optimize",
+                telemetry=tel,
+                new_trace=True,
+                workload=graph.name,
+                agent_kind=agent_kind,
             ):
-                logger.warning(
-                    "%s/%s halted by health watchdog: %s",
-                    graph.name,
-                    agent_kind,
-                    history.halt_reason,
-                )
+                history = trainer.train(history, run_state=run_state)
+                if history.halt_reason is not None and not history.halt_reason.startswith(
+                    "signal"
+                ):
+                    logger.warning(
+                        "%s/%s halted by health watchdog: %s",
+                        graph.name,
+                        agent_kind,
+                        history.halt_reason,
+                    )
 
-            if history.best_placement is None:
-                logger.warning(
-                    "%s/%s never found a valid placement", graph.name, agent_kind
-                )
-                final = float("nan")
-            else:
-                final = env.final_run(history.best_placement)
+                if history.best_placement is None:
+                    logger.warning(
+                        "%s/%s never found a valid placement", graph.name, agent_kind
+                    )
+                    final = float("nan")
+                else:
+                    final = env.final_run(history.best_placement)
     finally:
         if env is not None:
             env.close_pool()  # evaluation workers; restarts lazily if reused

@@ -30,6 +30,7 @@ from repro.rl.reward import RewardConfig, RewardTracker
 from repro.sim.env import PlacementEnv
 from repro.telemetry import Telemetry, get_telemetry
 from repro.telemetry.health import HealthConfig, HealthWatchdog
+from repro.telemetry.tracing import span
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 
@@ -230,169 +231,173 @@ class JointTrainer:
         for it in range(cfg.iterations):
             it_index = len(history.records)
             iter_wall_start = time.perf_counter()
-            with tel.profile_section("train.sample"):
-                rollout = self.agent.sample(cfg.samples_per_policy, self.rng)
-            with tel.profile_section("train.evaluate"):
-                # Batched: dedupe against the result cache, then fan unique
-                # placements across the evaluation pool (sim/batch.py).
-                results = self.env.evaluate_batch(rollout.placements)
-            runtimes = [res.per_step_time for res in results]
-            _, advantages = self.tracker.compute(runtimes)
-            self.buffer.add(rollout, advantages)
-            samples += len(results)
-            tel.counter("trainer.samples").inc(len(results))
-            reward_hist = tel.histogram("trainer.sample_runtime")
-            for res in results:
-                if res.ok:
-                    reward_hist.observe(res.per_step_time)
-            if tel.sample_events:
-                for i, res in enumerate(results):
-                    tel.emit(
-                        "sample",
-                        iteration=it_index,
-                        index=i,
-                        runtime=float(res.per_step_time),
-                        valid=bool(res.valid),
-                        truncated=bool(res.truncated),
-                        advantage=float(advantages[i]),
+            # One span per policy iteration: inside a traced run (the
+            # search.optimize root), env.evaluate_batch and its worker spans
+            # nest under it; otherwise this is the shared no-op.
+            with span("trainer.iteration", telemetry=tel, iteration=it_index):
+                with tel.profile_section("train.sample"):
+                    rollout = self.agent.sample(cfg.samples_per_policy, self.rng)
+                with tel.profile_section("train.evaluate"):
+                    # Batched: dedupe against the result cache, then fan unique
+                    # placements across the evaluation pool (sim/batch.py).
+                    results = self.env.evaluate_batch(rollout.placements)
+                runtimes = [res.per_step_time for res in results]
+                _, advantages = self.tracker.compute(runtimes)
+                self.buffer.add(rollout, advantages)
+                samples += len(results)
+                tel.counter("trainer.samples").inc(len(results))
+                reward_hist = tel.histogram("trainer.sample_runtime")
+                for res in results:
+                    if res.ok:
+                        reward_hist.observe(res.per_step_time)
+                if tel.sample_events:
+                    for i, res in enumerate(results):
+                        tel.emit(
+                            "sample",
+                            iteration=it_index,
+                            index=i,
+                            runtime=float(res.per_step_time),
+                            valid=bool(res.valid),
+                            truncated=bool(res.truncated),
+                            advantage=float(advantages[i]),
+                        )
+
+                improved = False
+                patience_bar = history.best_runtime * (1.0 - cfg.patience_min_improvement)
+                for res, placement in zip(results, rollout.placements):
+                    if res.ok and res.per_step_time < history.best_runtime:
+                        if res.per_step_time < patience_bar:
+                            improved = True
+                        history.best_runtime = res.per_step_time
+                        history.best_placement = placement.copy()
+                        attributed_best = False
+                samples_since_best = 0 if improved else samples_since_best + len(results)
+                if improved and history.best_placement is not None:
+                    # Explain each significantly-improved best placement:
+                    # one traced scheduler pass -> `attribution` event +
+                    # env.critical_path_* gauges (docs/observability.md).
+                    self.env.record_attribution(history.best_placement, iteration=it_index)
+                    attributed_best = True
+
+                agent_seconds = 0.0
+                if self.buffer.is_ready(cfg.update_min_samples):
+                    merged, advs = self.buffer.merged()
+                    with tel.profile_section("train.update"):
+                        stats = self.updater.update(merged, advs)
+                    pass_batch = max(1, merged.batch_size // max(getattr(cfg.ppo, "minibatches", 1), 1))
+                    agent_seconds = stats.passes * (
+                        self.agent.update_flops(pass_batch) / AGENT_DEVICE_FLOPS
+                        + AGENT_PASS_OVERHEAD
                     )
+                    tel.counter("trainer.updates").inc()
+                    tel.histogram("trainer.entropy").observe(stats.entropy)
+                    tel.histogram("trainer.clip_fraction").observe(stats.clip_fraction)
+                    tel.histogram("trainer.approx_kl").observe(stats.approx_kl)
+                    tel.histogram("trainer.policy_loss").observe(stats.policy_loss)
+                    tel.histogram("trainer.grad_norm").observe(stats.grad_norm)
+                    tel.emit(
+                        "update",
+                        iteration=it_index,
+                        policy_loss=float(stats.policy_loss),
+                        entropy=float(stats.entropy),
+                        clip_fraction=float(stats.clip_fraction),
+                        approx_kl=float(stats.approx_kl),
+                        grad_norm=float(stats.grad_norm),
+                        passes=int(stats.passes),
+                    )
+                    watchdog.observe_update(it_index, stats)
 
-            improved = False
-            patience_bar = history.best_runtime * (1.0 - cfg.patience_min_improvement)
-            for res, placement in zip(results, rollout.placements):
-                if res.ok and res.per_step_time < history.best_runtime:
-                    if res.per_step_time < patience_bar:
-                        improved = True
-                    history.best_runtime = res.per_step_time
-                    history.best_placement = placement.copy()
-                    attributed_best = False
-            samples_since_best = 0 if improved else samples_since_best + len(results)
-            if improved and history.best_placement is not None:
-                # Explain each significantly-improved best placement:
-                # one traced scheduler pass -> `attribution` event +
-                # env.critical_path_* gauges (docs/observability.md).
-                self.env.record_attribution(history.best_placement, iteration=it_index)
-                attributed_best = True
+                # The env clock is cumulative; fold in this iteration's delta.
+                delta_env = self.env.stats.wall_clock - env_clock_start
+                env_clock_start = self.env.stats.wall_clock
+                history.sim_clock += delta_env + agent_seconds
+                sim_clock = history.sim_clock
 
-            agent_seconds = 0.0
-            if self.buffer.is_ready(cfg.update_min_samples):
-                merged, advs = self.buffer.merged()
-                with tel.profile_section("train.update"):
-                    stats = self.updater.update(merged, advs)
-                pass_batch = max(1, merged.batch_size // max(getattr(cfg.ppo, "minibatches", 1), 1))
-                agent_seconds = stats.passes * (
-                    self.agent.update_flops(pass_batch) / AGENT_DEVICE_FLOPS
-                    + AGENT_PASS_OVERHEAD
+                record = SearchRecord(
+                    iteration=len(history.records),
+                    samples_so_far=samples,
+                    runtimes=list(runtimes),
+                    valid_runtimes=[r.per_step_time for r in results if r.valid],
+                    n_invalid=sum(not r.valid for r in results),
+                    n_truncated=sum(r.truncated for r in results),
+                    best_runtime=history.best_runtime,
+                    baseline=self.tracker.baseline,
+                    sim_clock=sim_clock,
                 )
-                tel.counter("trainer.updates").inc()
-                tel.histogram("trainer.entropy").observe(stats.entropy)
-                tel.histogram("trainer.clip_fraction").observe(stats.clip_fraction)
-                tel.histogram("trainer.approx_kl").observe(stats.approx_kl)
-                tel.histogram("trainer.policy_loss").observe(stats.policy_loss)
-                tel.histogram("trainer.grad_norm").observe(stats.grad_norm)
+                history.records.append(record)
+                history.sim_clock = sim_clock
+
+                # Wall vs simulated clock: `wall_seconds` is real time this
+                # iteration cost us; `sim_clock` is what it would have cost on
+                # the paper's testbed (the Fig. 8 quantity).
+                iter_wall = time.perf_counter() - iter_wall_start
+                tel.counter("trainer.iterations").inc()
+                tel.histogram("trainer.iteration_wall_s").observe(iter_wall)
+                tel.gauge("trainer.best_runtime").set(history.best_runtime)
+                tel.gauge("trainer.baseline").set(record.baseline)
+                tel.gauge("trainer.sim_clock").set(sim_clock)
                 tel.emit(
-                    "update",
+                    "iteration",
                     iteration=it_index,
-                    policy_loss=float(stats.policy_loss),
-                    entropy=float(stats.entropy),
-                    clip_fraction=float(stats.clip_fraction),
-                    approx_kl=float(stats.approx_kl),
-                    grad_norm=float(stats.grad_norm),
-                    passes=int(stats.passes),
+                    samples=int(samples),
+                    best_runtime=float(history.best_runtime),
+                    baseline=float(record.baseline),
+                    n_invalid=int(record.n_invalid),
+                    n_truncated=int(record.n_truncated),
+                    sim_clock=float(sim_clock),
+                    wall_seconds=float(iter_wall),
                 )
-                watchdog.observe_update(it_index, stats)
 
-            # The env clock is cumulative; fold in this iteration's delta.
-            delta_env = self.env.stats.wall_clock - env_clock_start
-            env_clock_start = self.env.stats.wall_clock
-            history.sim_clock += delta_env + agent_seconds
-            sim_clock = history.sim_clock
-
-            record = SearchRecord(
-                iteration=len(history.records),
-                samples_so_far=samples,
-                runtimes=list(runtimes),
-                valid_runtimes=[r.per_step_time for r in results if r.valid],
-                n_invalid=sum(not r.valid for r in results),
-                n_truncated=sum(r.truncated for r in results),
-                best_runtime=history.best_runtime,
-                baseline=self.tracker.baseline,
-                sim_clock=sim_clock,
-            )
-            history.records.append(record)
-            history.sim_clock = sim_clock
-
-            # Wall vs simulated clock: `wall_seconds` is real time this
-            # iteration cost us; `sim_clock` is what it would have cost on
-            # the paper's testbed (the Fig. 8 quantity).
-            iter_wall = time.perf_counter() - iter_wall_start
-            tel.counter("trainer.iterations").inc()
-            tel.histogram("trainer.iteration_wall_s").observe(iter_wall)
-            tel.gauge("trainer.best_runtime").set(history.best_runtime)
-            tel.gauge("trainer.baseline").set(record.baseline)
-            tel.gauge("trainer.sim_clock").set(sim_clock)
-            tel.emit(
-                "iteration",
-                iteration=it_index,
-                samples=int(samples),
-                best_runtime=float(history.best_runtime),
-                baseline=float(record.baseline),
-                n_invalid=int(record.n_invalid),
-                n_truncated=int(record.n_truncated),
-                sim_clock=float(sim_clock),
-                wall_seconds=float(iter_wall),
-            )
-
-            if cfg.log_every and (it + 1) % cfg.log_every == 0:
-                logger.info(
-                    "[%s] iter %d samples %d best %.4fs baseline %.3f invalid %d",
-                    self.env.graph.name,
-                    it + 1,
-                    samples,
-                    history.best_runtime,
-                    record.baseline,
-                    record.n_invalid,
+                if cfg.log_every and (it + 1) % cfg.log_every == 0:
+                    logger.info(
+                        "[%s] iter %d samples %d best %.4fs baseline %.3f invalid %d",
+                        self.env.graph.name,
+                        it + 1,
+                        samples,
+                        history.best_runtime,
+                        record.baseline,
+                        record.n_invalid,
+                    )
+                watchdog.observe_iteration(
+                    it_index,
+                    best_runtime=history.best_runtime,
+                    n_invalid=record.n_invalid,
+                    n_samples=len(results),
                 )
-            watchdog.observe_iteration(
-                it_index,
-                best_runtime=history.best_runtime,
-                n_invalid=record.n_invalid,
-                n_samples=len(results),
-            )
-            halt_signal = None
-            if run_state is not None:
-                self._samples_since_best = samples_since_best
-                self._attributed_best = attributed_best
-                # Snapshot when due (and always before a halt, so neither a
-                # signal nor the watchdog ever throws away finished work).
-                halt_signal = run_state.after_iteration(
-                    self, history, tel, force=watchdog.halted
-                )
-            if halt_signal:
-                history.halt_reason = f"signal: {halt_signal}"
-                tel.update_manifest(halted=True, halt_reason=history.halt_reason)
-                logger.warning(
-                    "[%s] %s received — snapshotted after iteration %d and stopping",
-                    self.env.graph.name,
-                    halt_signal,
-                    it + 1,
-                )
-                break
-            if watchdog.halted:
-                history.halt_reason = watchdog.halt_reason
-                tel.update_manifest(halted=True, halt_reason=watchdog.halt_reason)
-                logger.error(
-                    "[%s] health watchdog halted the run at iteration %d: %s",
-                    self.env.graph.name,
-                    it + 1,
-                    watchdog.halt_reason,
-                )
-                break
-            if cfg.early_stop_samples is not None and samples >= cfg.early_stop_samples:
-                break
-            if cfg.patience_samples is not None and samples_since_best >= cfg.patience_samples:
-                logger.info("early stop: no improvement in %d samples", samples_since_best)
-                break
+                halt_signal = None
+                if run_state is not None:
+                    self._samples_since_best = samples_since_best
+                    self._attributed_best = attributed_best
+                    # Snapshot when due (and always before a halt, so neither a
+                    # signal nor the watchdog ever throws away finished work).
+                    halt_signal = run_state.after_iteration(
+                        self, history, tel, force=watchdog.halted
+                    )
+                if halt_signal:
+                    history.halt_reason = f"signal: {halt_signal}"
+                    tel.update_manifest(halted=True, halt_reason=history.halt_reason)
+                    logger.warning(
+                        "[%s] %s received — snapshotted after iteration %d and stopping",
+                        self.env.graph.name,
+                        halt_signal,
+                        it + 1,
+                    )
+                    break
+                if watchdog.halted:
+                    history.halt_reason = watchdog.halt_reason
+                    tel.update_manifest(halted=True, halt_reason=watchdog.halt_reason)
+                    logger.error(
+                        "[%s] health watchdog halted the run at iteration %d: %s",
+                        self.env.graph.name,
+                        it + 1,
+                        watchdog.halt_reason,
+                    )
+                    break
+                if cfg.early_stop_samples is not None and samples >= cfg.early_stop_samples:
+                    break
+                if cfg.patience_samples is not None and samples_since_best >= cfg.patience_samples:
+                    logger.info("early stop: no improvement in %d samples", samples_since_best)
+                    break
         if history.best_placement is not None and not attributed_best:
             # The run ended on a best found before this train() call (or on
             # a sub-threshold trickle improvement): still leave one final

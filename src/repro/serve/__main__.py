@@ -93,9 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
         "'python -m repro.telemetry.report' (docs/observability.md)",
     )
     parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how often the live run directory's metrics.json and event "
+        "buffers are flushed to disk (default 30; <=0 disables; only "
+        "meaningful with --telemetry-dir)",
+    )
+    parser.add_argument(
         "--no-health",
         action="store_true",
-        help="disable the rejection-rate health watchdog",
+        help="disable the rejection-rate and SLO health watchdog",
     )
     parser.add_argument("--verbose", action="store_true")
     return parser
@@ -112,6 +121,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "serve",
             args.telemetry_dir,
             manifest={"checkpoint_dir": args.checkpoint_dir, "port": args.port},
+            flush_interval_s=args.flush_interval if args.flush_interval > 0 else None,
         )
 
     config = ServeConfig(

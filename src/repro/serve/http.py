@@ -6,7 +6,10 @@ Routes (all JSON; see docs/serving.md for the full schema):
   200 with a :class:`PlacementResponse` body, or the typed error status
   (400 bad request, 404 no matching policy, 503 overloaded/closed) with
   ``{"error": code, "message": ...}``.
-* ``GET /healthz``   — liveness + queue depth + cache/policy counts.
+* ``GET /healthz``   — liveness + uptime/pid + queue depth + cache/policy
+  counts + SLO status (p99 latency, error burn rate; docs/serving.md §5).
+* ``GET /metrics``   — live Prometheus text exposition of the service's
+  metrics registry (``serve.*``, ``env.*``, ...).
 * ``GET /policies``  — the registry's servable policies.
 * ``POST /reload``   — rescan the checkpoint directory (hot reload) and
   clear the result cache.
@@ -19,13 +22,18 @@ concurrency and admission control live in the queue, not in HTTP.
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.serve.queue import RequestQueue
 from repro.serve.service import PlacementRequest, PlacementService, ServiceError
+from repro.telemetry import SCHEMA_VERSION
+from repro.telemetry.prometheus import render_prometheus
+from repro.telemetry.tracing import span
 from repro.utils.logging import get_logger
 
 logger = get_logger("repro.serve.http")
@@ -64,11 +72,36 @@ class _Handler(BaseHTTPRequestHandler):
                 200,
                 {
                     "status": "ok" if self.server.queue.running else "draining",
+                    "uptime_s": time.perf_counter() - self.server.started_perf,
+                    "pid": os.getpid(),
+                    "schema_version": SCHEMA_VERSION,
                     "policies": len(service.registry),
                     "queue_depth": self.server.queue.depth,
                     "cache": service.cache.stats.to_dict(),
+                    "slo": service.watchdog.slo_status(),
                 },
             )
+        elif self.path == "/metrics":
+            service = self.server.service
+            # MetricsRegistry has no internal locking; a snapshot during
+            # concurrent metric *creation* can raise RuntimeError. Retry a
+            # few times — creation is rare after warm-up.
+            for attempt in range(5):
+                try:
+                    text = render_prometheus(service._tel().metrics.snapshot())
+                    break
+                except RuntimeError:
+                    if attempt == 4:
+                        self._send_error(
+                            503, "busy", "metrics snapshot raced; retry"
+                        )
+                        return
+            body = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif self.path == "/policies":
             self._send_json(
                 200,
@@ -102,9 +135,20 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             doc = json.loads(body)
             request = PlacementRequest.from_json(doc)
-            response = self.server.queue.submit_and_wait(
-                request, timeout=self.server.request_timeout
-            )
+            # Root span for the whole request path. Its context rides on
+            # the request so the queue worker and service spans (other
+            # threads — the ambient stack is thread-local) parent to it.
+            with span(
+                "http.request",
+                telemetry=self.server.service._tel(),
+                new_trace=True,
+                path=self.path,
+            ) as http_span:
+                if http_span.context is not None and request.trace is None:
+                    request.trace = http_span.context.to_dict()
+                response = self.server.queue.submit_and_wait(
+                    request, timeout=self.server.request_timeout
+                )
         except ServiceError as exc:
             self._send_error(exc.status, exc.code, str(exc))
             return
@@ -135,6 +179,7 @@ class PlacementServer:
         self._httpd.service = service
         self._httpd.queue = self.queue
         self._httpd.request_timeout = request_timeout
+        self._httpd.started_perf = time.perf_counter()
         self._thread: Optional[threading.Thread] = None
 
     @property

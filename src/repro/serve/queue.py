@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from typing import List, Optional, Tuple
 
@@ -40,6 +41,7 @@ from repro.serve.service import (
     ServiceError,
     ServiceOverloaded,
 )
+from repro.telemetry.tracing import SpanContext, record_span
 from repro.utils.logging import get_logger
 
 logger = get_logger("repro.serve.queue")
@@ -57,8 +59,11 @@ class RequestQueue:
         self.service = service
         cfg = service.config
         self.max_batch = cfg.max_batch
-        self._queue: "queue.Queue[Tuple[PlacementRequest, Future]]" = queue.Queue(
-            maxsize=cfg.max_queue
+        # Items carry their enqueue timestamps (monotonic for the wait
+        # measurement, wall-clock for the queue.wait span) so workers can
+        # split queue-wait from compute time per request.
+        self._queue: "queue.Queue[Tuple[PlacementRequest, Future, float, float]]" = (
+            queue.Queue(maxsize=cfg.max_queue)
         )
         self._closed = threading.Event()
         self._workers: List[threading.Thread] = []
@@ -102,7 +107,7 @@ class RequestQueue:
             raise ServiceClosed("service is shutting down")
         future: "Future[PlacementResponse]" = Future()
         try:
-            self._queue.put_nowait((request, future))
+            self._queue.put_nowait((request, future, time.perf_counter(), time.time()))
         except queue.Full:
             self.service.note_admission(rejected=True)
             raise ServiceOverloaded(
@@ -126,7 +131,7 @@ class RequestQueue:
         with self.service._lock:
             tel.gauge("serve.queue_depth").set(self._queue.qsize())
 
-    def _drain_batch(self) -> List[Tuple[PlacementRequest, Future]]:
+    def _drain_batch(self) -> List[Tuple[PlacementRequest, Future, float, float]]:
         """One blocking get, then opportunistic gets up to ``max_batch``.
 
         Returns an empty list only when shutdown is complete (closed and
@@ -155,9 +160,24 @@ class RequestQueue:
             tel = self.service._tel()
             with self.service._lock:
                 tel.histogram("serve.batch_size").observe(len(batch))
-            for request, future in batch:
+            for request, future, enq_perf, enq_wall in batch:
                 if not future.set_running_or_notify_cancel():
                     continue  # caller cancelled while queued
+                wait_s = max(0.0, time.perf_counter() - enq_perf)
+                parent = (
+                    SpanContext.from_dict(request.trace) if request.trace else None
+                )
+                # The wait already happened, so record it after the fact —
+                # parented to the HTTP root span carried in request.trace.
+                record_span(
+                    "queue.wait",
+                    wait_s,
+                    telemetry=tel,
+                    parent=parent,
+                    start_unix=enq_wall,
+                    request_id=request.request_id,
+                )
+                compute_start = time.perf_counter()
                 try:
                     future.set_result(self.service.handle(request))
                 except ServiceError as exc:
@@ -165,6 +185,12 @@ class RequestQueue:
                 except Exception as exc:  # defensive: never kill a worker
                     logger.exception("unexpected error serving %s", request.request_id)
                     future.set_exception(exc)
+                compute_s = time.perf_counter() - compute_start
+                with self.service._lock:
+                    # Queue wait vs compute, split out so `serve.latency_ms`
+                    # spikes can be attributed to backlog vs slow evals.
+                    tel.histogram("serve.queue_wait_s").observe(wait_s)
+                    tel.histogram("serve.compute_s").observe(compute_s)
 
     # ------------------------------------------------------------------
     def shutdown(self, timeout: Optional[float] = 30.0) -> None:

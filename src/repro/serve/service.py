@@ -43,6 +43,7 @@ from repro.sim.cluster import ClusterSpec
 from repro.sim.env import PlacementEnv
 from repro.sim.incremental import IncrementalEvalConfig
 from repro.telemetry import HealthConfig, HealthWatchdog, Telemetry, get_telemetry
+from repro.telemetry.tracing import SpanContext, new_trace_id, span
 from repro.utils.logging import get_logger
 
 logger = get_logger("repro.serve.service")
@@ -146,6 +147,11 @@ class PlacementRequest:
     budget: int = 0  # sampled candidates to refine over (0 = greedy only)
     use_cache: bool = True
     request_id: str = ""
+    #: Serialized :class:`SpanContext` (``{"trace_id", "span_id"}``) from
+    #: the caller — the HTTP layer plants its root span here so service
+    #: spans parent across the queue's thread hop. ``None`` starts a new
+    #: trace inside :meth:`PlacementService.handle`.
+    trace: Optional[dict] = None
 
     @classmethod
     def from_json(cls, doc: dict) -> "PlacementRequest":
@@ -179,6 +185,7 @@ class PlacementResponse:
     budget: int
     candidates_evaluated: int
     latency_ms: float
+    trace_id: str = ""  # trace the request was served under (for log joins)
 
     def to_json(self) -> dict:
         doc = dict(self.__dict__)
@@ -253,6 +260,7 @@ class PlacementService:
         latency_ms: float,
         policy_id: str = "",
         fingerprint: str = "",
+        trace_id: str = "",
         **extra,
     ) -> None:
         tel = self._tel()
@@ -262,6 +270,9 @@ class PlacementService:
                 tel.counter("serve.errors").inc()
             elif cache == "hit":
                 tel.counter("serve.cache_hits").inc()
+            # Every serviced request feeds the SLO detectors (p99 latency,
+            # error burn rate) — including failures, which is the point.
+            self.watchdog.observe_serve(latency_ms, ok=(status == "ok"))
             tel.emit(
                 "serve_request",
                 request_id=request.request_id,
@@ -271,6 +282,7 @@ class PlacementService:
                 cache=cache,
                 latency_ms=float(latency_ms),
                 budget=int(request.budget),
+                trace_id=trace_id,
                 **extra,
             )
 
@@ -344,8 +356,15 @@ class PlacementService:
                 self._env_order.remove(key)
                 self._env_order.append(key)
                 return env
+        # Pin the service's telemetry session on the env so env.* metrics
+        # (and spans) land in the registry /metrics exposes, regardless of
+        # which worker thread triggers the build.
         env = PlacementEnv(
-            graph, cluster, batch=self.eval_batch, incremental=self.incremental
+            graph,
+            cluster,
+            batch=self.eval_batch,
+            incremental=self.incremental,
+            telemetry=self._telemetry,
         )
         with self._lock:
             if key not in self._envs:
@@ -434,69 +453,99 @@ class PlacementService:
         start = time.perf_counter()
         if not request.request_id:
             request.request_id = f"req-{uuid.uuid4().hex[:12]}"
-        if request.budget < 0 or request.budget > self.config.max_budget:
-            raise BadRequest(
-                f"budget must be in [0, {self.config.max_budget}], "
-                f"got {request.budget}"
-            )
-        try:
-            graph = self._resolve_graph(request)
-            cluster = self._resolve_cluster(request)
-            spec = self._select_policy(request, graph, cluster)
-            fingerprint = graph.fingerprint()
-            cluster_sig = cluster.signature()
-            key = f"{fingerprint}:{cluster_sig}:{spec.policy_id}:{request.budget}"
+        # Join the caller's trace (the HTTP layer's root span, carried
+        # across the queue hop in `request.trace`) or start a fresh one.
+        # Responses always carry a trace_id — even when tracing is
+        # inactive and no span events are emitted — so clients can quote
+        # it in bug reports unconditionally.
+        parent_ctx = SpanContext.from_dict(request.trace) if request.trace else None
+        handle_span = span(
+            "service.handle",
+            telemetry=self._tel(),
+            parent=parent_ctx,
+            new_trace=parent_ctx is None,
+            request_id=request.request_id,
+        )
+        with handle_span:
+            ctx = handle_span.context
+            if ctx is not None:
+                trace_id = ctx.trace_id
+            elif parent_ctx is not None:
+                trace_id = parent_ctx.trace_id
+            else:
+                trace_id = new_trace_id()
+            if request.budget < 0 or request.budget > self.config.max_budget:
+                raise BadRequest(
+                    f"budget must be in [0, {self.config.max_budget}], "
+                    f"got {request.budget}"
+                )
+            try:
+                graph = self._resolve_graph(request)
+                cluster = self._resolve_cluster(request)
+                spec = self._select_policy(request, graph, cluster)
+                fingerprint = graph.fingerprint()
+                cluster_sig = cluster.signature()
+                key = f"{fingerprint}:{cluster_sig}:{spec.policy_id}:{request.budget}"
 
-            if request.use_cache:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    latency_ms = (time.perf_counter() - start) * 1e3
-                    response = replace(
-                        cached,
-                        request_id=request.request_id,
-                        cache="hit",
-                        latency_ms=latency_ms,
-                    )
-                    self._emit_request(
-                        request,
-                        "ok",
-                        "hit",
-                        latency_ms,
-                        policy_id=spec.policy_id,
-                        fingerprint=fingerprint,
-                        predicted_step_time=float(response.predicted_step_time),
-                        valid=bool(response.valid),
-                        workload=response.workload,
-                    )
-                    return response
+                if request.use_cache:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        latency_ms = (time.perf_counter() - start) * 1e3
+                        response = replace(
+                            cached,
+                            request_id=request.request_id,
+                            cache="hit",
+                            latency_ms=latency_ms,
+                            trace_id=trace_id,
+                        )
+                        self._emit_request(
+                            request,
+                            "ok",
+                            "hit",
+                            latency_ms,
+                            policy_id=spec.policy_id,
+                            fingerprint=fingerprint,
+                            trace_id=trace_id,
+                            predicted_step_time=float(response.predicted_step_time),
+                            valid=bool(response.valid),
+                            workload=response.workload,
+                        )
+                        return response
 
-            response = self._compute(
-                request, graph, cluster, spec, fingerprint, f"{fingerprint}:{cluster_sig}"
-            )
-            response.latency_ms = (time.perf_counter() - start) * 1e3
-            if request.use_cache:
-                self.cache.put(key, response)
-            with self._lock:
-                tel = self._tel()
-                tel.gauge("serve.cache_size").set(len(self.cache))
-            self._emit_request(
-                request,
-                "ok",
-                "miss",
-                response.latency_ms,
-                policy_id=spec.policy_id,
-                fingerprint=fingerprint,
-                predicted_step_time=float(response.predicted_step_time),
-                valid=bool(response.valid),
-                workload=response.workload,
-            )
-            return response
-        except ServiceError as exc:
-            latency_ms = (time.perf_counter() - start) * 1e3
-            self._emit_request(
-                request, exc.code, "none", latency_ms
-            )
-            raise
+                response = self._compute(
+                    request,
+                    graph,
+                    cluster,
+                    spec,
+                    fingerprint,
+                    f"{fingerprint}:{cluster_sig}",
+                )
+                response.latency_ms = (time.perf_counter() - start) * 1e3
+                response.trace_id = trace_id
+                if request.use_cache:
+                    self.cache.put(key, response)
+                with self._lock:
+                    tel = self._tel()
+                    tel.gauge("serve.cache_size").set(len(self.cache))
+                self._emit_request(
+                    request,
+                    "ok",
+                    "miss",
+                    response.latency_ms,
+                    policy_id=spec.policy_id,
+                    fingerprint=fingerprint,
+                    trace_id=trace_id,
+                    predicted_step_time=float(response.predicted_step_time),
+                    valid=bool(response.valid),
+                    workload=response.workload,
+                )
+                return response
+            except ServiceError as exc:
+                latency_ms = (time.perf_counter() - start) * 1e3
+                self._emit_request(
+                    request, exc.code, "none", latency_ms, trace_id=trace_id
+                )
+                raise
 
     def close(self) -> None:
         """Release cached environments' worker pools."""

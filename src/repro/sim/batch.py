@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -231,6 +232,24 @@ def _eval_job(job: Tuple[np.ndarray, int]) -> EvalOutcome:
     return _WORKER_EVALUATOR.compute(devices, placement_key)
 
 
+def _timed_compute(
+    evaluator: PureEvaluator, job: Tuple[np.ndarray, int]
+) -> Tuple[EvalOutcome, float, float]:
+    """Compute one job and measure it where it ran: ``(outcome,
+    start_unix, duration_s)``. Feeds the parent's ``env.eval_worker``
+    spans (workers cannot emit into the parent's event log themselves)."""
+    start_unix = time.time()
+    start = time.perf_counter()
+    outcome = evaluator.compute(*job)
+    return outcome, start_unix, time.perf_counter() - start
+
+
+def _eval_job_timed(
+    job: Tuple[np.ndarray, int]
+) -> Tuple[EvalOutcome, float, float]:
+    return _timed_compute(_WORKER_EVALUATOR, job)
+
+
 class BatchEvaluator:
     """Runs batches of unique placement jobs, serially or on a pool.
 
@@ -281,29 +300,48 @@ class BatchEvaluator:
             self._executor_kind = kind
         return self._executor
 
+    def _compute_serial(self, jobs, timed: bool):
+        if timed:
+            mapped = [_timed_compute(self.evaluator, job) for job in jobs]
+            return [m[0] for m in mapped], 0, [(m[1], m[2]) for m in mapped]
+        return [self.evaluator.compute(d, k) for d, k in jobs], 0
+
     def compute_many(
-        self, jobs: Sequence[Tuple[np.ndarray, int]]
-    ) -> Tuple[List[EvalOutcome], int]:
+        self, jobs: Sequence[Tuple[np.ndarray, int]], timed: bool = False
+    ):
         """Outcomes for ``jobs``, in input order.
 
         Returns ``(outcomes, pool_workers)`` where ``pool_workers`` is 0
-        when the batch ran on the serial path.
+        when the batch ran on the serial path. With ``timed=True`` the
+        return is ``(outcomes, pool_workers, timings)`` where
+        ``timings[i]`` is ``(start_unix, duration_s)`` measured where job
+        ``i`` actually ran — the environment turns these into
+        ``env.eval_worker`` spans. The outcomes themselves are identical
+        in both forms (timing never touches the measurement).
         """
         if not jobs:
-            return [], 0
+            return ([], 0, []) if timed else ([], 0)
         kind = self._pick_mode(len(jobs))
         if kind == "serial":
-            return [self.evaluator.compute(d, k) for d, k in jobs], 0
+            return self._compute_serial(jobs, timed)
         try:
             executor = self._ensure_executor(kind)
             if kind == "process":
                 chunksize = max(1, math.ceil(len(jobs) / (self.workers * 2)))
-                outcomes = list(executor.map(_eval_job, jobs, chunksize=chunksize))
+                fn = _eval_job_timed if timed else _eval_job
+                mapped = list(executor.map(fn, jobs, chunksize=chunksize))
+            elif timed:
+                mapped = list(
+                    executor.map(lambda job: _timed_compute(self.evaluator, job), jobs)
+                )
             else:
-                outcomes = list(
+                mapped = list(
                     executor.map(lambda job: self.evaluator.compute(*job), jobs)
                 )
-            return outcomes, self.workers
+            if timed:
+                outcomes = [m[0] for m in mapped]
+                return outcomes, self.workers, [(m[1], m[2]) for m in mapped]
+            return mapped, self.workers
         except (OSError, RuntimeError) as exc:
             logger.warning(
                 "parallel placement evaluation failed (%s: %s); "
@@ -313,7 +351,7 @@ class BatchEvaluator:
             )
             self._pool_broken = True
             self.shutdown()
-            return [self.evaluator.compute(d, k) for d, k in jobs], 0
+            return self._compute_serial(jobs, timed)
 
     def shutdown(self) -> None:
         """Tear down the pool; the next batch recreates it if needed."""

@@ -36,6 +36,7 @@ from repro.sim.measurement import MeasurementProtocol, MeasurementResult
 from repro.sim.memory import MemoryModel
 from repro.sim.placement import Placement, resolve_placement
 from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry.tracing import record_span, span
 
 
 @dataclass
@@ -374,18 +375,22 @@ class PlacementEnv:
     def evaluate(self, actions: Sequence[int]) -> MeasurementResult:
         """Measure a placement proposed by the agent (cached)."""
         tel = self._telemetry or get_telemetry()
-        placement = self.resolve(actions)
-        key = placement.devices.tobytes()
-        cached = self._cache_get(key)
-        if cached is not None:
-            self._record_cache_hit(cached, tel)
-            return cached
-        inc = self._incremental if self._incremental.ready else None
-        outcome = self._evaluator.compute(
-            placement.devices, hash(placement), incremental=inc
-        )
-        self._record_outcome(key, outcome, tel)
-        return outcome.result
+        # Traced only inside an active trace (a service.handle or
+        # trainer.iteration span on this thread); otherwise span() returns
+        # the shared no-op and this costs two attribute checks.
+        with span("env.evaluate", telemetry=tel):
+            placement = self.resolve(actions)
+            key = placement.devices.tobytes()
+            cached = self._cache_get(key)
+            if cached is not None:
+                self._record_cache_hit(cached, tel)
+                return cached
+            inc = self._incremental if self._incremental.ready else None
+            outcome = self._evaluator.compute(
+                placement.devices, hash(placement), incremental=inc
+            )
+            self._record_outcome(key, outcome, tel)
+            return outcome.result
 
     def _apply_compute(
         self, placement: Placement, pool_outcome: Optional[EvalOutcome]
@@ -428,55 +433,74 @@ class PlacementEnv:
            (the phase-1 prediction is only a routing hint).
         """
         tel = self._telemetry or get_telemetry()
-        placements = [self.resolve(a) for a in actions_batch]
-        keys = [p.devices.tobytes() for p in placements]
+        batch_span = span("env.evaluate_batch", telemetry=tel, n=len(actions_batch))
+        with batch_span:
+            placements = [self.resolve(a) for a in actions_batch]
+            keys = [p.devices.tobytes() for p in placements]
 
-        inc = self._incremental
-        jobs: List[Tuple[np.ndarray, int]] = []
-        job_index = {}
-        seen = set()
-        for placement, key in zip(placements, keys):
-            if key in self._cache or key in seen:
-                continue
-            seen.add(key)
-            if inc.ready and inc.would_resume(placement.devices):
-                continue  # predicted hit: computed locally in the apply loop
-            job_index[key] = len(jobs)
-            jobs.append((placement.devices, hash(placement)))
+            inc = self._incremental
+            jobs: List[Tuple[np.ndarray, int]] = []
+            job_index = {}
+            seen = set()
+            for placement, key in zip(placements, keys):
+                if key in self._cache or key in seen:
+                    continue
+                seen.add(key)
+                if inc.ready and inc.would_resume(placement.devices):
+                    continue  # predicted hit: computed locally in the apply loop
+                job_index[key] = len(jobs)
+                jobs.append((placement.devices, hash(placement)))
 
-        outcomes, pool_workers = self._batcher.compute_many(jobs)
-
-        results: List[MeasurementResult] = []
-        for placement, key in zip(placements, keys):
-            cached = self._cache_get(key)
-            if cached is not None:
-                self._record_cache_hit(cached, tel)
-                results.append(cached)
-                continue
-            # Uncached: either predicted-incremental (computed here), pool
-            # computed (classified here), or cached-then-evicted during
-            # this very apply loop (recomputed, exactly as the sequential
-            # path would have after the same eviction).
-            index = job_index.get(key)
-            pool_outcome = outcomes[index] if index is not None else None
-            outcome = self._apply_compute(placement, pool_outcome)
-            self._record_outcome(key, outcome, tel)
-            results.append(outcome.result)
-
-        n = len(placements)
-        if n:
-            unique = len(seen)
-            tel.counter("env.batches").inc()
-            tel.histogram("env.batch_size").observe(n)
-            tel.histogram("env.batch_dedupe_rate").observe(1.0 - unique / n)
-            tel.gauge("env.eval_pool_workers").set(pool_workers)
-            if pool_workers and jobs:
-                # Fraction of pool slots busy across the batch's waves.
-                waves = -(-len(jobs) // pool_workers)  # ceil division
-                tel.histogram("env.batch_pool_utilization").observe(
-                    len(jobs) / (waves * pool_workers)
+            # When this batch is traced, have the pool measure each job
+            # where it runs and record the workers' sections here — pool
+            # workers cannot emit into this process's event log.
+            if batch_span.context is not None:
+                outcomes, pool_workers, timings = self._batcher.compute_many(
+                    jobs, timed=True
                 )
-        return results
+                for start_unix, duration_s in timings:
+                    record_span(
+                        "env.eval_worker",
+                        duration_s,
+                        telemetry=tel,
+                        parent=batch_span.context,
+                        start_unix=start_unix,
+                        pool=bool(pool_workers),
+                    )
+            else:
+                outcomes, pool_workers = self._batcher.compute_many(jobs)
+
+            results: List[MeasurementResult] = []
+            for placement, key in zip(placements, keys):
+                cached = self._cache_get(key)
+                if cached is not None:
+                    self._record_cache_hit(cached, tel)
+                    results.append(cached)
+                    continue
+                # Uncached: either predicted-incremental (computed here), pool
+                # computed (classified here), or cached-then-evicted during
+                # this very apply loop (recomputed, exactly as the sequential
+                # path would have after the same eviction).
+                index = job_index.get(key)
+                pool_outcome = outcomes[index] if index is not None else None
+                outcome = self._apply_compute(placement, pool_outcome)
+                self._record_outcome(key, outcome, tel)
+                results.append(outcome.result)
+
+            n = len(placements)
+            if n:
+                unique = len(seen)
+                tel.counter("env.batches").inc()
+                tel.histogram("env.batch_size").observe(n)
+                tel.histogram("env.batch_dedupe_rate").observe(1.0 - unique / n)
+                tel.gauge("env.eval_pool_workers").set(pool_workers)
+                if pool_workers and jobs:
+                    # Fraction of pool slots busy across the batch's waves.
+                    waves = -(-len(jobs) // pool_workers)  # ceil division
+                    tel.histogram("env.batch_pool_utilization").observe(
+                        len(jobs) / (waves * pool_workers)
+                    )
+            return results
 
     def final_run(self, actions: Sequence[int], steps: int = 1000) -> float:
         """Per-step runtime of the final placement over a long run."""

@@ -39,6 +39,7 @@ import os
 import platform
 import re
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -54,6 +55,14 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.health import HealthAlert, HealthConfig, HealthWatchdog
 from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.telemetry.tracing import (
+    Span,
+    SpanContext,
+    current_span,
+    new_trace_id,
+    record_span,
+    span,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -67,6 +76,12 @@ __all__ = [
     "NullRunLogger",
     "read_events",
     "validate_event",
+    "Span",
+    "SpanContext",
+    "span",
+    "current_span",
+    "record_span",
+    "new_trace_id",
     "Telemetry",
     "TelemetryConfig",
     "NULL_TELEMETRY",
@@ -95,6 +110,11 @@ class TelemetryConfig:
     events_max_bytes: int = 4_000_000  # JSONL rotation threshold per part
     reservoir_size: int = 512  # histogram quantile reservoir
     sample_events: bool = True  # per-placement 'sample'/'eval' events
+    #: Seconds between background flushes of ``metrics.json`` and the
+    #: buffered event log for file-backed runs. ``None`` (default) keeps
+    #: the old behaviour — artifacts land on ``close()``; setting it
+    #: keeps them fresh even if the run crashes mid-way.
+    flush_interval_s: Optional[float] = None
 
 
 class Telemetry:
@@ -108,6 +128,7 @@ class Telemetry:
         name: str = "run",
         enabled: bool = True,
         sample_events: bool = True,
+        flush_interval_s: Optional[float] = None,
     ):
         self.enabled = enabled
         self.name = name
@@ -127,6 +148,20 @@ class Telemetry:
         # Monotonic birth time: run duration must not jump when NTP steps
         # the wall clock mid-run; wall_time fields stay `time.time()`.
         self._start_perf = time.perf_counter()
+        # Periodic background flush: keeps metrics.json and the event
+        # log fresh on disk even when the run crashes before close().
+        # Only meaningful for file-backed sessions.
+        self.flush_interval_s = flush_interval_s
+        self._flush_stop: Optional[threading.Event] = None
+        self._flush_thread: Optional[threading.Thread] = None
+        if run_dir and flush_interval_s and flush_interval_s > 0 and enabled:
+            self._flush_stop = threading.Event()
+            self._flush_thread = threading.Thread(
+                target=self._flush_loop,
+                name=f"telemetry-flush-{name}",
+                daemon=True,
+            )
+            self._flush_thread.start()
 
     # -- delegation sugar ----------------------------------------------
     def counter(self, name: str):
@@ -196,10 +231,33 @@ class Telemetry:
             json.dump(self.metrics.snapshot(), fh, indent=2, default=float)
         return path
 
+    def flush(self) -> None:
+        """Write the current metrics snapshot and sync buffered events.
+
+        Safe to call from any thread at any point in the run; the
+        periodic flush thread calls it on its interval. Snapshot races
+        with concurrent metric *creation* are retried on the next tick
+        rather than crashing the run.
+        """
+        if not self.run_dir or self._closed:
+            return
+        try:
+            self.write_metrics()
+        except RuntimeError:  # dict mutated mid-snapshot; next tick wins
+            pass
+        self.events.flush()
+
+    def _flush_loop(self) -> None:
+        while not self._flush_stop.wait(self.flush_interval_s):
+            self.flush()
+
     def close(self) -> None:
         """Emit ``run_end``, flush metrics and close the event log."""
         if self._closed:
             return
+        if self._flush_stop is not None:
+            self._flush_stop.set()
+            self._flush_thread.join(timeout=5.0)
         self._closed = True
         if self.run_dir:
             self.emit(
@@ -259,6 +317,7 @@ def start_run(
     events_max_bytes: int = 4_000_000,
     reservoir_size: int = 512,
     sample_events: bool = True,
+    flush_interval_s: Optional[float] = None,
 ) -> Telemetry:
     """Open a file-backed telemetry session under ``base_dir``.
 
@@ -280,6 +339,7 @@ def start_run(
         run_dir=run_dir,
         name=slug,
         sample_events=sample_events,
+        flush_interval_s=flush_interval_s,
     )
     tel.write_manifest(**(manifest or {}))
     tel.emit("run_start", name=slug, wall_time=time.time())
@@ -309,4 +369,5 @@ def telemetry_from_config(
         events_max_bytes=config.events_max_bytes,
         reservoir_size=config.reservoir_size,
         sample_events=config.sample_events,
+        flush_interval_s=getattr(config, "flush_interval_s", None),
     )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import threading
 from typing import IO, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
@@ -112,6 +113,20 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "window": _INT,  # observations the statistic was computed over
         "message": _STR,
     },
+    # Tracing (repro.telemetry.tracing) ---------------------------------
+    # One event per finished span. `parent_id` is "" for trace roots;
+    # `start_unix` is wall-clock so spans from different processes line
+    # up, `duration_s` is monotonic-clock; `status` is "ok" | "error".
+    # Producers attach extra context (e.g. `iteration`, `jobs`, `pid`).
+    "span": {
+        "trace_id": _STR,
+        "span_id": _STR,
+        "parent_id": _STR,
+        "name": _STR,
+        "start_unix": _NUM,
+        "duration_s": _NUM,
+        "status": _STR,
+    },
     # Placement service (repro.serve) -----------------------------------
     # One event per serviced request. `status` is "ok" or a typed error
     # code ("bad_request" | "policy_not_found" | "overloaded" | ...);
@@ -199,6 +214,10 @@ class RunLogger:
         self._bytes = 0
         self._since_flush = 0
         self._fh: Optional[IO[str]] = None
+        # Serving emits from many threads (handler threads, queue
+        # workers, the flush thread); seq assignment and file writes
+        # must not interleave.
+        self._lock = threading.Lock()
 
     # -- file handling --------------------------------------------------
     def _open(self) -> IO[str]:
@@ -217,33 +236,42 @@ class RunLogger:
     # -- API ------------------------------------------------------------
     def emit(self, etype: str, **fields) -> dict:
         """Write one event; returns the event dict (useful in tests)."""
-        event = {"v": SCHEMA_VERSION, "type": etype, "seq": self._seq}
-        event.update(fields)
-        self._seq += 1
-        if self.validate:
-            errors = validate_event(event)
-            if errors:
-                raise ValueError(f"invalid event: {'; '.join(errors)}")
-        line = json.dumps(event, separators=(",", ":"), default=float) + "\n"
-        if self._bytes and self._bytes + len(line) > self.max_bytes:
-            self._rotate()
-        fh = self._open()
-        fh.write(line)
-        self._bytes += len(line)
-        self._since_flush += 1
-        if self._since_flush >= self.flush_every:
-            fh.flush()
-            self._since_flush = 0
-        return event
+        with self._lock:
+            event = {"v": SCHEMA_VERSION, "type": etype, "seq": self._seq}
+            event.update(fields)
+            self._seq += 1
+            if self.validate:
+                errors = validate_event(event)
+                if errors:
+                    raise ValueError(f"invalid event: {'; '.join(errors)}")
+            line = json.dumps(event, separators=(",", ":"), default=float) + "\n"
+            if self._bytes and self._bytes + len(line) > self.max_bytes:
+                self._rotate()
+            fh = self._open()
+            fh.write(line)
+            self._bytes += len(line)
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                fh.flush()
+                self._since_flush = 0
+            return event
 
     @property
     def num_events(self) -> int:
         return self._seq
 
+    def flush(self) -> None:
+        """Push buffered events to disk (the periodic live flush)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._since_flush = 0
+
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunLogger":
         return self
@@ -260,6 +288,9 @@ class NullRunLogger:
 
     def emit(self, etype: str, **fields) -> dict:
         return {}
+
+    def flush(self) -> None:
+        pass
 
     def close(self) -> None:
         pass

@@ -78,6 +78,16 @@ class HealthConfig:
     #: service is undersized for its load (docs/serving.md).
     reject_rate_threshold: float = 0.5
     reject_window: int = 40
+    #: Serving latency SLO (repro.serve): the ``latency_slo`` detector
+    #: fires when the p99 of the last ``latency_window`` serviced
+    #: requests exceeds ``latency_slo_ms`` — sustained slow answers, not
+    #: one outlier (docs/serving.md).
+    latency_slo_ms: float = 2000.0
+    latency_window: int = 50
+    #: Serving error burn rate (repro.serve): fraction of the last
+    #: ``error_window`` serviced requests that failed with a typed error.
+    error_rate_threshold: float = 0.5
+    error_window: int = 50
     #: Minimum observations between two firings of the same detector.
     cooldown: int = 10
 
@@ -121,6 +131,13 @@ class HealthWatchdog:
         self._rejects: Deque[int] = deque(
             maxlen=max(1, self.config.reject_window)
         )  # 1 = rejected admission, 0 = accepted
+        #: Serviced-request streams for the SLO detectors (observe_serve).
+        self._latencies: Deque[float] = deque(
+            maxlen=max(1, self.config.latency_window)
+        )  # latency_ms of each serviced request
+        self._errors: Deque[int] = deque(
+            maxlen=max(1, self.config.error_window)
+        )  # 1 = typed error, 0 = ok
         self._bests: Deque[float] = deque(maxlen=max(2, self.config.plateau_window + 1))
         self._observations = 0
         self._last_fired: Dict[str, int] = {}
@@ -140,6 +157,8 @@ class HealthWatchdog:
             "invalid": [[int(a), int(b)] for a, b in self._invalid],
             "invalid_counts": [int(x) for x in self._invalid_counts],
             "rejects": [int(x) for x in self._rejects],
+            "latencies": [float(x) for x in self._latencies],
+            "errors": [int(x) for x in self._errors],
             "bests": [float(x) for x in self._bests],
             "observations": int(self._observations),
             "last_fired": dict(self._last_fired),
@@ -155,6 +174,11 @@ class HealthWatchdog:
         self._invalid_counts = [int(x) for x in state["invalid_counts"]]
         self._rejects.clear()
         self._rejects.extend(int(x) for x in state["rejects"])
+        # Absent in snapshots written before the SLO detectors existed.
+        self._latencies.clear()
+        self._latencies.extend(float(x) for x in state.get("latencies", ()))
+        self._errors.clear()
+        self._errors.extend(int(x) for x in state.get("errors", ()))
         self._bests.clear()
         self._bests.extend(float(x) for x in state["bests"])
         self._observations = int(state["observations"])
@@ -305,6 +329,105 @@ class HealthWatchdog:
             "(raise --workers/--max-queue or shed traffic upstream)",
         )
         return [alert] if alert else []
+
+    @staticmethod
+    def _p99(values: Deque[float]) -> float:
+        ordered = sorted(values)
+        return ordered[max(0, math.ceil(0.99 * len(ordered)) - 1)]
+
+    def observe_serve(self, latency_ms: float, ok: bool) -> List[HealthAlert]:
+        """Feed one *serviced* request's outcome (``repro.serve``).
+
+        The two SLO detectors run over full sliding windows only (no
+        verdict on a cold service):
+
+        * ``latency_slo`` — p99 latency of the last ``latency_window``
+          serviced requests above ``latency_slo_ms``;
+        * ``error_burn_rate`` — more than ``error_rate_threshold`` of the
+          last ``error_window`` serviced requests failed with a typed
+          error (bad requests, missing policies, queue-level rejections
+          are observed separately by :meth:`observe_request`).
+        """
+        if not self.config.enabled:
+            return []
+        self._observations += 1
+        cfg = self.config
+        fired: List[HealthAlert] = []
+        if math.isfinite(latency_ms):
+            self._latencies.append(float(latency_ms))
+        self._errors.append(0 if ok else 1)
+        if len(self._latencies) == self._latencies.maxlen:
+            p99 = self._p99(self._latencies)
+            if p99 > cfg.latency_slo_ms:
+                alert = self._fire(
+                    "latency_slo",
+                    -1,
+                    p99,
+                    cfg.latency_slo_ms,
+                    len(self._latencies),
+                    f"p99 service latency {p99:.1f} ms > SLO "
+                    f"{cfg.latency_slo_ms:.0f} ms over the last "
+                    f"{len(self._latencies)} requests (slow evaluation or "
+                    "queue backlog — check serve.queue_wait_s vs "
+                    "serve.compute_s)",
+                )
+                if alert:
+                    fired.append(alert)
+        if len(self._errors) == self._errors.maxlen:
+            rate = sum(self._errors) / len(self._errors)
+            if rate > cfg.error_rate_threshold:
+                alert = self._fire(
+                    "error_burn_rate",
+                    -1,
+                    rate,
+                    cfg.error_rate_threshold,
+                    len(self._errors),
+                    f"{sum(self._errors)}/{len(self._errors)} serviced "
+                    "requests failed with typed errors — clients are "
+                    "burning their error budget (check the serve_request "
+                    "status codes)",
+                )
+                if alert:
+                    fired.append(alert)
+        return fired
+
+    def slo_status(self) -> dict:
+        """Current SLO standing for liveness endpoints (``GET /healthz``).
+
+        Window statistics are computed over whatever has been observed so
+        far; the ``ok`` verdicts stay ``True`` until a full window
+        violates its threshold, matching when the detectors fire.
+        """
+        cfg = self.config
+        p99 = self._p99(self._latencies) if self._latencies else None
+        error_rate = (
+            sum(self._errors) / len(self._errors) if self._errors else 0.0
+        )
+        reject_rate = (
+            sum(self._rejects) / len(self._rejects) if self._rejects else 0.0
+        )
+        return {
+            "latency_p99_ms": p99,
+            "latency_slo_ms": cfg.latency_slo_ms,
+            "latency_ok": not (
+                len(self._latencies) == self._latencies.maxlen
+                and p99 is not None
+                and p99 > cfg.latency_slo_ms
+            ),
+            "error_rate": error_rate,
+            "error_rate_threshold": cfg.error_rate_threshold,
+            "errors_ok": not (
+                len(self._errors) == self._errors.maxlen
+                and error_rate > cfg.error_rate_threshold
+            ),
+            "reject_rate": reject_rate,
+            "reject_rate_threshold": cfg.reject_rate_threshold,
+            "rejects_ok": not (
+                len(self._rejects) == self._rejects.maxlen
+                and reject_rate > cfg.reject_rate_threshold
+            ),
+            "alerts": len(self.alerts),
+        }
 
     def observe_iteration(
         self,

@@ -1,0 +1,80 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry` snapshot.
+
+Backs the serve HTTP server's ``GET /metrics`` endpoint: any Prometheus
+scraper (or ``curl``) pointed at a running ``python -m repro.serve`` gets
+the live ``serve.*`` / ``env.*`` / ``health.*`` metrics without waiting
+for the run's final ``metrics.json``.
+
+Mapping (format reference:
+https://prometheus.io/docs/instrumenting/exposition_formats/):
+
+* counters → ``# TYPE <name> counter`` with the running value;
+* gauges → ``# TYPE <name> gauge`` (the extra ``<name>_updates`` counter
+  records how often the gauge was set);
+* histograms → Prometheus *summaries*: ``<name>{quantile="0.5|0.95|0.99"}``
+  from the reservoir estimates plus ``<name>_sum`` / ``<name>_count``
+  (cumulative-bucket histograms would need fixed bucket bounds the
+  streaming reservoir deliberately avoids).
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots become underscores, so
+``serve.latency_ms`` is exported as ``serve_latency_ms``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["render_prometheus", "sanitize_metric_name"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Registry name → Prometheus metric name (dots to underscores)."""
+    name = _NAME_BAD_CHARS.sub("_", name)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _fmt(value) -> str:
+    """A float in Prometheus' number grammar (inf/nan spelled out)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render ``MetricsRegistry.snapshot()`` as Prometheus text format.
+
+    Deterministic output (names sorted per section) so scrapes diff
+    cleanly in tests and tooling.
+    """
+    lines = []
+    for name in sorted(snapshot.get("counters", ())):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name]['value'])}")
+    for name in sorted(snapshot.get("gauges", ())):
+        metric = sanitize_metric_name(name)
+        gauge = snapshot["gauges"][name]
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge['value'])}")
+        lines.append(f"# TYPE {metric}_updates counter")
+        lines.append(f"{metric}_updates {_fmt(gauge.get('updates', 0))}")
+    for name in sorted(snapshot.get("histograms", ())):
+        metric = sanitize_metric_name(name)
+        hist = snapshot["histograms"][name]
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if hist.get(key) is not None:
+                lines.append(f'{metric}{{quantile="{quantile}"}} {_fmt(hist[key])}')
+        lines.append(f"{metric}_sum {_fmt(hist.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {_fmt(hist.get('count', 0))}")
+    return "\n".join(lines) + "\n"

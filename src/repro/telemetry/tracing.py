@@ -1,0 +1,278 @@
+"""Trace/span contexts for end-to-end request and iteration tracing.
+
+A *trace* is one logical unit of work — a ``/place`` request crossing the
+HTTP handler, the request queue, the service and the evaluation pool, or
+one search run crossing trainer iterations and batch evaluations. Each
+trace is a tree of *spans*: named, timed sections with a ``trace_id``
+shared across the tree, a unique ``span_id``, and a ``parent_id`` linking
+each span to the section that contains it. Every finished span is
+recorded as one schema-versioned ``span`` event
+(:data:`repro.telemetry.events.EVENT_SCHEMAS`), so a run directory's
+JSONL log carries the whole tree and ``analysis/trace.py`` can render it
+in Perfetto.
+
+Three propagation mechanisms, matching how work moves in this codebase:
+
+* **Ambient (same thread).** :func:`span` pushes onto a thread-local
+  stack; nested ``span()`` calls on the same thread parent automatically
+  (``trainer.iteration`` under ``search.optimize``,
+  ``env.evaluate_batch`` under ``service.handle``).
+* **Explicit context (cross-thread).** :meth:`Span.context` /
+  :func:`current_span` yield a :class:`SpanContext` — a serializable
+  ``(trace_id, span_id)`` pair. The HTTP handler stores it on the
+  request; the queue worker resumes from it with ``span(parent=ctx)``.
+* **After-the-fact records (cross-process).** Pool workers cannot emit
+  into the parent's event log; they measure their own start/duration and
+  the parent emits the finished span with :func:`record_span`.
+
+Activation rule: spans exist only when the telemetry session writes
+event files (``tel.sample_events``) *and* there is a trace to join — an
+ambient or explicit parent, or ``new_trace=True`` for roots. Everything
+else returns a shared no-op, so default in-memory sessions and
+un-traced hot paths pay one attribute check per call. Because spans are
+gated on an active trace, they are deliberately outside the
+batch-vs-sequential "identical event stream" contract of
+``sim/batch.py`` (span timings are wall-clock and could never be
+bit-identical anyway).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "SpanContext",
+    "Span",
+    "span",
+    "current_span",
+    "record_span",
+    "new_trace_id",
+]
+
+# Process-unique id generation without per-call entropy: one random
+# prefix at import plus an atomic-in-CPython counter. Forked pool
+# workers re-seed the prefix on first use (the fork copies it), but
+# workers never *create* ids — the parent records their spans — so the
+# shared prefix is harmless there.
+_PREFIX = os.urandom(6).hex()
+_COUNTER = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{_PREFIX}{next(_COUNTER):08x}"
+
+
+def new_trace_id() -> str:
+    """A fresh process-unique trace id (used for responses even when no
+    span is recorded, so every ``/place`` answer carries an identity)."""
+    return _new_id()
+
+
+class SpanContext:
+    """The serializable identity of a live span: ``(trace_id, span_id)``.
+
+    This is what crosses thread and process boundaries — a child created
+    from a context joins ``trace_id`` and parents under ``span_id``.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, doc) -> Optional["SpanContext"]:
+        """Rebuild a context from its wire form; ``None`` if malformed."""
+        if not isinstance(doc, dict):
+            return None
+        trace_id = doc.get("trace_id")
+        span_id = doc.get("span_id")
+        if isinstance(trace_id, str) and isinstance(span_id, str) and trace_id:
+            return cls(trace_id, span_id)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return f"SpanContext(trace_id={self.trace_id!r}, span_id={self.span_id!r})"
+
+
+# The ambient stack is thread-local: each serve worker / handler thread
+# carries its own current span, unlike the process-wide telemetry
+# session stack (a session is shared; "what am I inside of" is not).
+_LOCAL = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def current_span() -> Optional[SpanContext]:
+    """The innermost live span on this thread, or ``None``."""
+    stack = getattr(_LOCAL, "stack", None)
+    return stack[-1].context if stack else None
+
+
+class Span:
+    """One live, timed section; use via ``with span(...) as sp``.
+
+    ``start_unix`` is wall-clock (``time.time``) so spans from different
+    processes line up on one axis; the duration is measured on the
+    monotonic clock (``time.perf_counter``) so it survives NTP steps.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "status",
+        "start_unix",
+        "_start_perf",
+        "_telemetry",
+        "_extra",
+    )
+
+    def __init__(self, name, telemetry, trace_id, parent_id, extra):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.status = "ok"
+        self.start_unix = 0.0
+        self._start_perf = 0.0
+        self._telemetry = telemetry
+        self._extra = extra
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's identity, for cross-thread/process propagation."""
+        return SpanContext(self.trace_id, self.span_id)
+
+    def __enter__(self) -> "Span":
+        self.start_unix = time.time()
+        self._start_perf = time.perf_counter()
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start_perf
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - defensive against unbalanced exits
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        if exc_type is not None and self.status == "ok":
+            self.status = "error"
+        self._telemetry.emit(
+            "span",
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start_unix=float(self.start_unix),
+            duration_s=float(duration),
+            status=self.status,
+            **self._extra,
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing twin of :class:`Span` (inactive telemetry, or no
+    trace to join). ``context`` is ``None`` so callers can branch."""
+
+    __slots__ = ()
+    context = None
+    trace_id = None
+    span_id = None
+    status = "ok"
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(
+    name: str,
+    telemetry=None,
+    parent: Optional[SpanContext] = None,
+    new_trace: bool = False,
+    **extra,
+) -> "Span | _NoopSpan":
+    """Open a span named ``name``; returns a context manager.
+
+    Parenting, in priority order: an explicit ``parent`` context (a
+    cross-thread handoff), the thread's ambient current span, or — only
+    with ``new_trace=True`` — a fresh root. Without any of those, or when
+    the session does not write event files, the shared no-op is returned
+    and nothing is recorded.
+    """
+    if telemetry is None:
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+    if not telemetry.sample_events:
+        return NOOP_SPAN
+    if parent is None:
+        parent = current_span()
+    if parent is not None:
+        return Span(name, telemetry, parent.trace_id, parent.span_id, extra)
+    if new_trace:
+        return Span(name, telemetry, _new_id(), "", extra)
+    return NOOP_SPAN
+
+
+def record_span(
+    name: str,
+    duration_s: float,
+    telemetry=None,
+    parent: Optional[SpanContext] = None,
+    start_unix: Optional[float] = None,
+    status: str = "ok",
+    **extra,
+) -> Optional[str]:
+    """Record an already-finished span under ``parent``.
+
+    For sections that cannot hold a live :class:`Span` — queue wait time
+    measured between threads, pool-worker compute measured in another
+    process. Returns the new span id, or ``None`` when nothing was
+    recorded (no parent, or the session writes no event files).
+    """
+    if parent is None:
+        return None
+    if telemetry is None:
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+    if not telemetry.sample_events:
+        return None
+    span_id = _new_id()
+    telemetry.emit(
+        "span",
+        trace_id=parent.trace_id,
+        span_id=span_id,
+        parent_id=parent.span_id,
+        name=name,
+        start_unix=float(start_unix if start_unix is not None else time.time()),
+        duration_s=float(duration_s),
+        status=status,
+        **extra,
+    )
+    return span_id

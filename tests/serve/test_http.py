@@ -47,6 +47,50 @@ class TestRoutes:
         assert doc["policies"] == 2
         assert "queue_depth" in doc and "cache" in doc
 
+    def test_healthz_liveness_and_slo_fields(self, server):
+        import os
+
+        from repro.telemetry.events import SCHEMA_VERSION
+
+        status, doc = get(server, "/healthz")
+        assert status == 200
+        assert doc["uptime_s"] > 0
+        assert doc["pid"] == os.getpid()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        slo = doc["slo"]
+        assert slo["latency_slo_ms"] > 0
+        assert slo["latency_ok"] and slo["errors_ok"] and slo["rejects_ok"]
+        assert slo["alerts"] == 0
+
+    def test_metrics_prometheus_exposition(self, server):
+        # Drive one request so serve.* metrics exist, then scrape.
+        post(server, "/place", {"graph": graph_to_dict(tiny_graph()), "budget": 0})
+        import re
+
+        with urllib.request.urlopen(server.address + "/metrics", timeout=30) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode("utf-8")
+        assert text.endswith("\n")
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$"
+        )
+        names = set()
+        for line in text.splitlines():
+            if not line or line.startswith(("# HELP ", "# TYPE ")):
+                continue
+            assert sample_re.match(line), line
+            names.add(line.split("{", 1)[0].split(" ", 1)[0])
+        assert any(n.startswith("serve_") for n in names)
+
+    def test_place_response_echoes_unique_trace_id(self, server):
+        body = {"graph": graph_to_dict(tiny_graph()), "budget": 0}
+        _, first = post(server, "/place", body)
+        _, second = post(server, "/place", body)  # cache hit path
+        assert first["trace_id"] and second["trace_id"]
+        assert first["trace_id"] != second["trace_id"]
+        assert second["cache"] == "hit"
+
     def test_policies(self, server):
         status, doc = get(server, "/policies")
         assert status == 200

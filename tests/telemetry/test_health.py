@@ -191,6 +191,74 @@ class TestDetectors:
         assert len(dog.alerts) == before
 
 
+class TestServeSLO:
+    def test_latency_slo_needs_full_window(self):
+        cfg = HealthConfig(latency_slo_ms=100.0, latency_window=10)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for _ in range(9):
+            assert dog.observe_serve(500.0, ok=True) == []  # window not full
+        fired = dog.observe_serve(500.0, ok=True)
+        assert [a.detector for a in fired] == ["latency_slo"]
+        alert = fired[0]
+        assert alert.value > 100.0
+        assert alert.threshold == 100.0
+        assert alert.iteration == -1
+        assert "p99" in alert.message
+
+    def test_latency_under_slo_stays_quiet(self):
+        cfg = HealthConfig(latency_slo_ms=100.0, latency_window=10)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for _ in range(40):
+            assert dog.observe_serve(50.0, ok=True) == []
+        assert dog.alerts == []
+
+    def test_error_burn_rate_fires_over_full_window(self):
+        cfg = HealthConfig(error_rate_threshold=0.5, error_window=10)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for i in range(9):
+            assert dog.observe_serve(10.0, ok=(i % 3 == 0)) == []
+        fired = dog.observe_serve(10.0, ok=False)
+        assert [a.detector for a in fired] == ["error_burn_rate"]
+        assert fired[0].iteration == -1
+
+    def test_infinite_latency_does_not_poison_window(self):
+        cfg = HealthConfig(latency_slo_ms=100.0, latency_window=4)
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        dog.observe_serve(float("inf"), ok=True)  # dropped, not appended
+        for _ in range(3):
+            assert dog.observe_serve(10.0, ok=True) == []
+        assert dog.observe_serve(10.0, ok=True) == []  # full healthy window
+        assert dog.alerts == []
+
+    def test_disabled_watchdog_ignores_serve_observations(self):
+        dog = HealthWatchdog(HealthConfig(enabled=False), telemetry=Telemetry())
+        assert dog.observe_serve(1e9, ok=False) == []
+        assert dog.alerts == []
+
+    def test_slo_status_cold_service(self):
+        dog = HealthWatchdog(HealthConfig(), telemetry=Telemetry())
+        status = dog.slo_status()
+        assert status["latency_p99_ms"] is None
+        assert status["error_rate"] == 0.0
+        assert status["latency_ok"] and status["errors_ok"] and status["rejects_ok"]
+        assert status["alerts"] == 0
+
+    def test_slo_status_reflects_violations(self):
+        cfg = HealthConfig(
+            latency_slo_ms=100.0, latency_window=4,
+            error_rate_threshold=0.5, error_window=4,
+        )
+        dog = HealthWatchdog(cfg, telemetry=Telemetry())
+        for _ in range(4):
+            dog.observe_serve(500.0, ok=False)
+        status = dog.slo_status()
+        assert status["latency_p99_ms"] > 100.0
+        assert not status["latency_ok"]
+        assert status["error_rate"] == 1.0
+        assert not status["errors_ok"]
+        assert status["alerts"] == len(dog.alerts) > 0
+
+
 class TestActions:
     def test_halt_sets_reason(self):
         dog = HealthWatchdog(HealthConfig(action="halt"), telemetry=Telemetry())

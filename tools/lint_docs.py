@@ -5,7 +5,7 @@ Run from the repo root (``make lint-docs`` does):
 
     python tools/lint_docs.py
 
-Three checks, all stdlib-only:
+Four checks, all stdlib-only:
 
 1. Every relative link/image target in the repo's Markdown files must
    exist on disk (``http(s)://``, ``mailto:`` and pure ``#anchor`` links
@@ -22,6 +22,10 @@ Three checks, all stdlib-only:
    and the code in sync. Coverage is also enforced: every event type
    registered in ``EVENT_SCHEMAS`` must appear in at least one fixture
    line, so a new event type cannot ship without a validated example.
+4. Every metric name recorded under ``src/`` — a string literal passed
+   to ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` — must
+   appear in docs/observability.md's metric glossary, so a new metric
+   cannot ship undocumented.
 
 Exit status is non-zero if any check fails.
 """
@@ -143,9 +147,46 @@ def check_event_fixtures() -> list:
     return errors
 
 
+# `tel.counter("env.oom")`, `registry.histogram('serve.latency_ms')`, ...
+# The literal-argument requirement is deliberate: dynamically-built metric
+# names can't be linted, and the codebase doesn't build any.
+_METRIC_CALL_RE = re.compile(
+    r"\b(?:counter|gauge|histogram)\(\s*['\"]([A-Za-z0-9._]+)['\"]"
+)
+
+
+def check_metric_glossary() -> list:
+    """Every metric recorded under src/ must be in the observability
+    glossary (docs/observability.md)."""
+    glossary_path = os.path.join(REPO_ROOT, "docs", "observability.md")
+    if not os.path.exists(glossary_path):
+        return ["docs/observability.md missing (metric glossary home)"]
+    glossary = open(glossary_path, encoding="utf-8").read()
+    errors = []
+    recorded = {}  # name -> first "file:line" that records it
+    for path in sorted(
+        glob.glob(os.path.join(REPO_ROOT, "src", "**", "*.py"), recursive=True)
+    ):
+        rel = os.path.relpath(path, REPO_ROOT)
+        for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+            for match in _METRIC_CALL_RE.finditer(line):
+                recorded.setdefault(match.group(1), f"{rel}:{lineno}")
+    for name in sorted(recorded):
+        # A glossary row mentions the metric in a code span: `env.oom`.
+        if f"`{name}`" not in glossary:
+            errors.append(
+                f"{recorded[name]}: metric {name!r} is recorded but not in "
+                "the docs/observability.md metric glossary"
+            )
+    return errors
+
+
 def main() -> int:
     errors = (
-        check_markdown_links() + check_doc_path_references() + check_event_fixtures()
+        check_markdown_links()
+        + check_doc_path_references()
+        + check_event_fixtures()
+        + check_metric_glossary()
     )
     for error in errors:
         print(error, file=sys.stderr)

@@ -11,6 +11,12 @@ gets driven:
 * responses with identical fingerprints must carry identical placements
   (the cache-consistency contract), and the duplicate-heavy mix must
   produce a non-zero cache hit rate;
+* every response must carry a non-empty ``trace_id``, unique across the
+  run (one trace per request), and after shutdown the recorded ``span``
+  events must form a single-rooted tree per trace — one ``http.request``
+  root per ``/place`` request, no orphan parents;
+* one ``GET /metrics`` scrape must return valid Prometheus text
+  exposition covering the ``serve.*`` and ``env.*`` metrics;
 * a deliberately undersized second service (1 worker, queue of 1) is
   flooded to prove overload surfaces as the typed 503 ``overloaded``
   error immediately — never a hang or silent queueing.
@@ -45,6 +51,7 @@ from repro.serve import (  # noqa: E402
     ServeConfig,
 )
 from repro.sim import ClusterSpec  # noqa: E402
+from repro.telemetry import read_events, start_run  # noqa: E402
 
 N_THREADS = 8
 N_REQUESTS = 64
@@ -141,6 +148,7 @@ def concurrent_traffic(url: str) -> None:
 
     by_fingerprint = {}
     hits = 0
+    trace_ids = []
     for status, doc in results:
         if status != 200:
             fail(f"request failed with {status}: {doc}")
@@ -150,6 +158,9 @@ def concurrent_traffic(url: str) -> None:
             fail(f"response missing positive latency: {doc}")
         if not doc.get("placement"):
             fail(f"response missing placement: {doc}")
+        if not doc.get("trace_id"):
+            fail(f"response missing trace_id: {doc}")
+        trace_ids.append(doc["trace_id"])
         if doc["cache"] == "hit":
             hits += 1
         key = (doc["fingerprint"], doc["budget"])
@@ -158,9 +169,75 @@ def concurrent_traffic(url: str) -> None:
             fail(f"divergent placements for identical fingerprint {key}")
     if hits == 0:
         fail("no cache hits across 64 requests with duplicate graphs")
+    if len(set(trace_ids)) != len(trace_ids):
+        fail("trace_ids are not unique across requests (traces merged)")
     print(
         f"serve-smoke: {len(results)} requests over {N_THREADS} threads, "
         f"{hits} cache hits, {len(by_fingerprint)} distinct (fingerprint, budget) keys"
+    )
+
+
+def scrape_metrics(url: str) -> None:
+    """One /metrics scrape: valid exposition text, serve.* + env.* present."""
+    import re
+
+    with urllib.request.urlopen(url + "/metrics", timeout=30.0) as resp:
+        status = resp.status
+        ctype = resp.headers.get("Content-Type", "")
+        text = resp.read().decode("utf-8")
+    if status != 200:
+        fail(f"/metrics returned {status}")
+    if not ctype.startswith("text/plain"):
+        fail(f"/metrics Content-Type {ctype!r} is not text exposition")
+    sample_re = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9eE+.naifNIF]+$"
+    )
+    names = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        if not sample_re.match(line):
+            fail(f"/metrics line {lineno} is not valid exposition: {line!r}")
+        names.add(line.split("{", 1)[0].split(" ", 1)[0])
+    for prefix in ("serve_", "env_"):
+        if not any(name.startswith(prefix) for name in names):
+            fail(f"/metrics has no {prefix}* metrics: {sorted(names)[:10]}")
+    print(f"serve-smoke: /metrics OK ({len(names)} metric sample names)")
+
+
+def check_span_tree(run_dir: str) -> None:
+    """Every recorded trace must be a single-rooted tree with no orphans."""
+    traces = {}
+    for event in read_events(run_dir, types=("span",)):
+        traces.setdefault(event["trace_id"], []).append(event)
+    if not traces:
+        fail("no span events recorded by a traced serve run")
+    http_roots = 0
+    for trace_id, spans in traces.items():
+        span_ids = {s["span_id"] for s in spans}
+        roots = [s for s in spans if s["parent_id"] == ""]
+        if len(roots) != 1:
+            fail(
+                f"trace {trace_id} has {len(roots)} roots "
+                f"({[s['name'] for s in roots]}), expected exactly 1"
+            )
+        for s in spans:
+            if s["parent_id"] and s["parent_id"] not in span_ids:
+                fail(
+                    f"orphan span {s['name']} in trace {trace_id}: "
+                    f"parent {s['parent_id']} was never recorded"
+                )
+        if roots[0]["name"] == "http.request":
+            http_roots += 1
+    if http_roots != N_REQUESTS:
+        fail(
+            f"expected {N_REQUESTS} http.request-rooted traces, "
+            f"got {http_roots} (of {len(traces)} traces)"
+        )
+    n_spans = sum(len(spans) for spans in traces.values())
+    print(
+        f"serve-smoke: span trees OK ({n_spans} spans, {len(traces)} traces, "
+        f"{http_roots} request roots)"
     )
 
 
@@ -206,19 +283,31 @@ def overload_traffic(registry: PolicyRegistry) -> None:
 
 def run() -> int:
     cluster = ClusterSpec.default()
-    with tempfile.TemporaryDirectory() as ckpt_dir:
+    with tempfile.TemporaryDirectory() as ckpt_dir, \
+            tempfile.TemporaryDirectory() as tel_dir:
         build_checkpoints(ckpt_dir, cluster)
         registry = PolicyRegistry(ckpt_dir)
         if len(registry) != 2:
             fail(f"expected a 2-policy registry, got {len(registry)}")
-        service = PlacementService(
-            registry, config=ServeConfig(workers=4, max_queue=128)
-        )
-        server = PlacementServer(service, port=0, queue=RequestQueue(service)).start()
+        # File-backed session so request spans are recorded and the span
+        # trees can be checked after shutdown.
+        tel = start_run("serve-smoke", tel_dir)
         try:
-            concurrent_traffic(server.address)
+            service = PlacementService(
+                registry, config=ServeConfig(workers=4, max_queue=128),
+                telemetry=tel,
+            )
+            server = PlacementServer(
+                service, port=0, queue=RequestQueue(service)
+            ).start()
+            try:
+                concurrent_traffic(server.address)
+                scrape_metrics(server.address)
+            finally:
+                server.shutdown()
         finally:
-            server.shutdown()
+            tel.close()
+        check_span_tree(tel.run_dir)
         overload_traffic(registry)
     print("serve-smoke: OK")
     return 0
