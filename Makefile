@@ -1,9 +1,9 @@
-.PHONY: install test lint-docs lint-defaults bench bench-smoke report-smoke serve-smoke resume-smoke experiments examples clean
+.PHONY: install test lint-docs lint-defaults bench bench-smoke report-smoke serve-smoke resume-smoke distrib-smoke experiments examples clean
 
 install:
 	pip install -e .
 
-test: lint-docs lint-defaults bench-smoke report-smoke serve-smoke resume-smoke
+test: lint-docs lint-defaults bench-smoke report-smoke serve-smoke resume-smoke distrib-smoke
 	pytest tests/
 
 lint-docs:
@@ -26,6 +26,7 @@ bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_batch_eval.py --smoke
 	PYTHONPATH=src python benchmarks/bench_incremental.py --smoke
 	PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke
+	PYTHONPATH=src python benchmarks/bench_distributed.py --smoke
 
 # Tiny telemetry run -> full report with --health/--attribution -> exit 0:
 # proves the report pipeline renders real run directories on every `make test`.
@@ -44,6 +45,13 @@ resume-smoke:
 # stack on every `make test` (see docs/serving.md).
 serve-smoke:
 	PYTHONPATH=src python tools/serve_smoke.py
+
+# Two rollout workers x six policy iterations through the full
+# repro.distrib stack (variable store, sample queues, supervisor):
+# proves progress, clean shutdown and zero orphaned processes on every
+# `make test` (docs/architecture.md, "Distributed training").
+distrib-smoke:
+	PYTHONPATH=src python tools/distrib_smoke.py
 
 experiments:
 	python -m repro.experiments.runner all --cache-dir benchmarks/.mars_cache

@@ -1,0 +1,119 @@
+"""Versioned variable store: how the learner broadcasts policy weights.
+
+The learner is the only writer: :meth:`VariableStore.publish` writes the
+agent's ``state_dict`` as a pickled snapshot file (temp + ``os.replace``,
+the ``core/checkpoint.py`` atomicity recipe) and then bumps a shared
+``multiprocessing.Value`` version counter. Workers are pure readers:
+:meth:`VariableStore.fetch` is one lock-free integer read when nothing
+changed, and one file read when it did — no locks are held across the
+pickle, so a slow worker never stalls the learner or its siblings.
+
+The version counter is advanced only *after* the snapshot file is fully
+on disk, so a reader that observes version ``v`` can always load
+``weights-v``. Old snapshots are pruned two versions behind the head:
+a reader racing a publish may still be opening ``v-1`` while ``v`` lands,
+and the retry loop in :meth:`fetch` covers the (pathological) case of a
+reader sleeping through two publishes mid-open.
+
+File-backed rather than shared-memory by design: a SIGKILLed worker
+cannot corrupt it (readers never write), a restarted worker bootstraps
+from it with no learner involvement, and the latest snapshot doubles as
+a crash artifact for post-mortems.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.distrib.store")
+
+_SNAP_PREFIX = "weights-"
+#: Snapshots kept behind the head version (see module docstring).
+_KEEP_BEHIND = 2
+
+
+class VariableStore:
+    """One-writer/many-reader versioned weight snapshots on disk."""
+
+    def __init__(self, directory: str, ctx=None):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        ctx = ctx or multiprocessing.get_context()
+        # 'q' = signed 64-bit; the lock-free read below is a single
+        # aligned load, safe without taking the Value's lock.
+        self._version = ctx.Value("q", 0)
+
+    # -- shared paths ----------------------------------------------------
+    def _path(self, version: int) -> str:
+        return os.path.join(self.directory, f"{_SNAP_PREFIX}{version:08d}.pkl")
+
+    @property
+    def version(self) -> int:
+        """The newest published version (0 = nothing published yet)."""
+        return int(self._version.value)
+
+    # -- learner side ----------------------------------------------------
+    def publish(self, state: Dict[str, np.ndarray]) -> int:
+        """Write ``state`` as the next version; returns the new version."""
+        version = self.version + 1
+        path = self._path(version)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".pkl.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        # Commit point: the file is complete before readers can see `version`.
+        with self._version.get_lock():
+            self._version.value = version
+        self._prune(version)
+        return version
+
+    def _prune(self, head: int) -> None:
+        for name in os.listdir(self.directory):
+            if not (name.startswith(_SNAP_PREFIX) and name.endswith(".pkl")):
+                continue
+            try:
+                v = int(name[len(_SNAP_PREFIX) : -len(".pkl")])
+            except ValueError:
+                continue
+            if v <= head - _KEEP_BEHIND:
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:  # pragma: no cover - already gone
+                    pass
+
+    # -- worker side -----------------------------------------------------
+    def fetch(
+        self, newer_than: int = 0
+    ) -> Optional[Tuple[int, Dict[str, np.ndarray]]]:
+        """``(version, state)`` if anything newer than ``newer_than`` is
+        published, else ``None`` (one integer read, no file touch).
+
+        If the file for the observed version was pruned between the
+        version read and the open — the reader slept through multiple
+        publishes — the read retries against the new head.
+        """
+        while True:
+            version = self.version
+            if version <= newer_than:
+                return None
+            try:
+                with open(self._path(version), "rb") as fh:
+                    return version, pickle.load(fh)
+            except FileNotFoundError:
+                # Pruned under us; the head has necessarily advanced.
+                if self.version == version:  # pragma: no cover - defensive
+                    raise
+                continue

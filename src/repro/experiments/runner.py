@@ -141,6 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the deterministic serial evaluation path (no pool)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distributed actor-learner training: run N rollout-worker "
+        "processes feeding the central learner (0 = single-process; see "
+        "docs/architecture.md, 'Distributed training')",
+    )
+    parser.add_argument(
+        "--no-distrib",
+        action="store_true",
+        help="force single-process training even if the config profile "
+        "enables distributed workers",
+    )
+    parser.add_argument(
         "--no-incremental",
         action="store_true",
         help="disable incremental makespan re-evaluation (full simulation "
@@ -166,6 +181,10 @@ def main(argv=None) -> int:
         config = replace(
             config, incremental=replace(config.incremental, enabled=False)
         )
+    if args.no_distrib:
+        config = replace(config, distrib=replace(config.distrib, workers=0))
+    elif args.workers is not None:
+        config = replace(config, distrib=replace(config.distrib, workers=args.workers))
     if args.serial_eval:
         config = replace(config, eval_batch=replace(config.eval_batch, mode="serial"))
     elif args.eval_workers is not None:

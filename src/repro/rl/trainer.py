@@ -197,6 +197,47 @@ class JointTrainer:
         self._samples_since_best = int(state["loop"]["samples_since_best"])
         self._attributed_best = bool(state["loop"]["attributed_best"])
 
+    def maybe_update(self, tel: Telemetry, it_index: int, watchdog) -> float:
+        """Run one updater pass if enough samples are buffered.
+
+        The single update path shared by :meth:`train` and the
+        distributed learner (``repro.distrib``): merge the rollout
+        buffer, run the configured updater, record update telemetry and
+        feed the health watchdog. Returns the *simulated* seconds of
+        agent compute this update cost (0.0 when the buffer was not yet
+        ready), derived from the agent's FLOP estimate exactly as Fig. 8
+        accounts it.
+        """
+        cfg = self.config
+        if not self.buffer.is_ready(cfg.update_min_samples):
+            return 0.0
+        merged, advs = self.buffer.merged()
+        with tel.profile_section("train.update"):
+            stats = self.updater.update(merged, advs)
+        pass_batch = max(1, merged.batch_size // max(getattr(cfg.ppo, "minibatches", 1), 1))
+        agent_seconds = stats.passes * (
+            self.agent.update_flops(pass_batch) / AGENT_DEVICE_FLOPS
+            + AGENT_PASS_OVERHEAD
+        )
+        tel.counter("trainer.updates").inc()
+        tel.histogram("trainer.entropy").observe(stats.entropy)
+        tel.histogram("trainer.clip_fraction").observe(stats.clip_fraction)
+        tel.histogram("trainer.approx_kl").observe(stats.approx_kl)
+        tel.histogram("trainer.policy_loss").observe(stats.policy_loss)
+        tel.histogram("trainer.grad_norm").observe(stats.grad_norm)
+        tel.emit(
+            "update",
+            iteration=it_index,
+            policy_loss=float(stats.policy_loss),
+            entropy=float(stats.entropy),
+            clip_fraction=float(stats.clip_fraction),
+            approx_kl=float(stats.approx_kl),
+            grad_norm=float(stats.grad_norm),
+            passes=int(stats.passes),
+        )
+        watchdog.observe_update(it_index, stats)
+        return agent_seconds
+
     def train(
         self,
         history: Optional[SearchHistory] = None,
@@ -279,33 +320,7 @@ class JointTrainer:
                     self.env.record_attribution(history.best_placement, iteration=it_index)
                     attributed_best = True
 
-                agent_seconds = 0.0
-                if self.buffer.is_ready(cfg.update_min_samples):
-                    merged, advs = self.buffer.merged()
-                    with tel.profile_section("train.update"):
-                        stats = self.updater.update(merged, advs)
-                    pass_batch = max(1, merged.batch_size // max(getattr(cfg.ppo, "minibatches", 1), 1))
-                    agent_seconds = stats.passes * (
-                        self.agent.update_flops(pass_batch) / AGENT_DEVICE_FLOPS
-                        + AGENT_PASS_OVERHEAD
-                    )
-                    tel.counter("trainer.updates").inc()
-                    tel.histogram("trainer.entropy").observe(stats.entropy)
-                    tel.histogram("trainer.clip_fraction").observe(stats.clip_fraction)
-                    tel.histogram("trainer.approx_kl").observe(stats.approx_kl)
-                    tel.histogram("trainer.policy_loss").observe(stats.policy_loss)
-                    tel.histogram("trainer.grad_norm").observe(stats.grad_norm)
-                    tel.emit(
-                        "update",
-                        iteration=it_index,
-                        policy_loss=float(stats.policy_loss),
-                        entropy=float(stats.entropy),
-                        clip_fraction=float(stats.clip_fraction),
-                        approx_kl=float(stats.approx_kl),
-                        grad_norm=float(stats.grad_norm),
-                        passes=int(stats.passes),
-                    )
-                    watchdog.observe_update(it_index, stats)
+                agent_seconds = self.maybe_update(tel, it_index, watchdog)
 
                 # The env clock is cumulative; fold in this iteration's delta.
                 delta_env = self.env.stats.wall_clock - env_clock_start

@@ -34,6 +34,7 @@ import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -72,6 +73,10 @@ class BatchEvalConfig:
     min_parallel: int = 4  # fewer unique placements than this run serially
     min_ops_parallel: int = 128  # auto only: smaller graphs run serially
     cache_capacity: int = 8192  # PlacementEnv LRU result cache (<=0: unbounded)
+    #: Pool rebuilds allowed after a BrokenProcessPool (a worker OOM-killed
+    #: or SIGKILLed mid-batch) before degrading to serial for the rest of
+    #: the run. Environment-level failures (fork refused) never rebuild.
+    max_pool_rebuilds: int = 2
 
     def __post_init__(self) -> None:
         if self.mode not in ("auto", "serial", "thread", "process"):
@@ -255,9 +260,17 @@ class BatchEvaluator:
 
     The executor is created lazily and reused across batches (a search
     evaluates thousands of batches; per-batch pool startup would dwarf
-    the scheduling work). A broken pool — fork refused in a sandbox,
-    worker killed — permanently degrades to the serial path, which
-    produces identical results.
+    the scheduling work). Failures degrade, never crash, and always
+    finish the current batch on the serial path (identical results):
+
+    * ``BrokenProcessPool`` — a pool worker died mid-batch (OOM killer,
+      stray SIGKILL). The pool is torn down and *rebuilt* for the next
+      batch, up to ``max_pool_rebuilds`` times (counted in
+      ``pool_failures``); past the budget the evaluator turns serial for
+      the rest of the run.
+    * ``OSError``/other ``RuntimeError`` — the environment refuses pools
+      altogether (fork blocked in a sandbox). No rebuild attempts:
+      serial for the rest of the run immediately.
     """
 
     def __init__(self, evaluator: PureEvaluator, config: Optional[BatchEvalConfig] = None):
@@ -266,6 +279,9 @@ class BatchEvaluator:
         self._executor = None
         self._executor_kind: Optional[str] = None
         self._pool_broken = False
+        #: Cumulative BrokenProcessPool events (the environment diffs
+        #: this into its ``env.eval_pool_failures`` counter).
+        self.pool_failures = 0
 
     @property
     def workers(self) -> int:
@@ -342,6 +358,32 @@ class BatchEvaluator:
                 outcomes = [m[0] for m in mapped]
                 return outcomes, self.workers, [(m[1], m[2]) for m in mapped]
             return mapped, self.workers
+        except BrokenProcessPool as exc:
+            # A pool worker was killed mid-batch. Unlike the environment
+            # failures below, this is usually transient (OOM killer,
+            # operator SIGKILL), so the pool is rebuilt on the next batch
+            # — up to the configured budget.
+            self.pool_failures += 1
+            self.shutdown()
+            if self.pool_failures > self.config.max_pool_rebuilds:
+                self._pool_broken = True
+                logger.warning(
+                    "evaluation pool broke mid-batch (%s) for the %d-th "
+                    "time — over the rebuild budget (%d), serial for the "
+                    "rest of this run",
+                    exc,
+                    self.pool_failures,
+                    self.config.max_pool_rebuilds,
+                )
+            else:
+                logger.warning(
+                    "evaluation pool broke mid-batch (%s); finishing this "
+                    "batch serially and rebuilding the pool (failure %d/%d)",
+                    exc,
+                    self.pool_failures,
+                    self.config.max_pool_rebuilds + 1,
+                )
+            return self._compute_serial(jobs, timed)
         except (OSError, RuntimeError) as exc:
             logger.warning(
                 "parallel placement evaluation failed (%s: %s); "

@@ -55,6 +55,10 @@ class EnvStats:
     #: path pays off.
     incremental_hits: int = 0
     incremental_fallbacks: int = 0
+    #: Batches whose evaluation pool broke mid-compute (a worker died)
+    #: and were finished on the serial path — results are identical, this
+    #: only measures pool robustness events (sim/batch.py).
+    eval_pool_failures: int = 0
 
 
 class PlacementEnv:
@@ -209,6 +213,7 @@ class PlacementEnv:
                 "wall_clock": float(self.stats.wall_clock),
                 "incremental_hits": int(self.stats.incremental_hits),
                 "incremental_fallbacks": int(self.stats.incremental_fallbacks),
+                "eval_pool_failures": int(self.stats.eval_pool_failures),
             },
             "incremental": self._incremental.state_dict(),
             "cache": {
@@ -234,6 +239,7 @@ class PlacementEnv:
             # existed — they resume with zeroed counters and no anchor.
             incremental_hits=int(stats.get("incremental_hits", 0)),
             incremental_fallbacks=int(stats.get("incremental_fallbacks", 0)),
+            eval_pool_failures=int(stats.get("eval_pool_failures", 0)),
         )
         if "incremental" in state:
             self._incremental.load_state_dict(state["incremental"])
@@ -451,6 +457,7 @@ class PlacementEnv:
                 job_index[key] = len(jobs)
                 jobs.append((placement.devices, hash(placement)))
 
+            pool_failures_before = self._batcher.pool_failures
             # When this batch is traced, have the pool measure each job
             # where it runs and record the workers' sections here — pool
             # workers cannot emit into this process's event log.
@@ -469,6 +476,12 @@ class PlacementEnv:
                     )
             else:
                 outcomes, pool_workers = self._batcher.compute_many(jobs)
+            failed = self._batcher.pool_failures - pool_failures_before
+            if failed:
+                # Worker death mid-batch (sim/batch.py): the batch was
+                # finished serially with identical results; count it.
+                self.stats.eval_pool_failures += failed
+                tel.counter("env.eval_pool_failures").inc(failed)
 
             results: List[MeasurementResult] = []
             for placement, key in zip(placements, keys):

@@ -1,0 +1,242 @@
+"""Contract tests for distributed actor–learner training.
+
+The expensive end-to-end contracts from the issue live here:
+
+* **budget parity** — a distributed run (workers=2, fixed seeds) must
+  reach a final best makespan no worse than the single-process run on
+  the same sample budget;
+* **elastic robustness** — SIGKILLing a worker mid-run restarts it
+  (``distrib.worker_restarts == 1``) and the run still completes its
+  full budget; losing *every* worker halts gracefully instead of
+  hanging.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import fast_profile
+from repro.core.search import build_agent, optimize_placement
+from repro.distrib import replica_build_args, train_distributed
+from repro.distrib.worker import WorkerSpec
+from repro.rl.trainer import JointTrainer, SearchHistory
+from repro.sim import ClusterSpec, PlacementEnv
+from repro.telemetry import Telemetry
+from tests.helpers import tiny_graph
+
+CLUSTER = ClusterSpec.default()
+
+
+class RecordingLogger:
+    """In-memory event sink (the real loggers are file-backed or null)."""
+
+    run_dir = None
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, etype, **fields):
+        event = {"type": etype, **fields}
+        self.records.append(event)
+        return event
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+
+def _quick_cfg(seed=0, iterations=6, workers=2, **distrib_kw):
+    cfg = fast_profile(seed=seed, iterations=iterations)
+    return replace(
+        cfg,
+        pretrain=replace(cfg.pretrain, iterations=2),
+        distrib=replace(cfg.distrib, workers=workers, **distrib_kw),
+    )
+
+
+def _no_orphans(timeout=5.0):
+    """True once no live child processes remain (post-shutdown check)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestReplicaBuildArgs:
+    def test_mars_replica_skips_pretraining(self):
+        cfg = _quick_cfg()
+        kind, out = replica_build_args("mars", cfg)
+        assert kind == "mars_no_pretrain"
+        assert out is cfg  # no config surgery needed
+
+    def test_study_replica_disables_pretrain_via_config(self):
+        cfg = _quick_cfg()
+        kind, out = replica_build_args("study:seq2seq", cfg)
+        assert kind == "study:seq2seq"
+        assert out.pretrain.enabled is False
+        assert cfg.pretrain.enabled is True  # original untouched
+
+    def test_other_kinds_pass_through(self):
+        cfg = _quick_cfg()
+        for kind in ("encoder_placer", "grouper_placer", "mars_no_pretrain"):
+            assert replica_build_args(kind, cfg) == (kind, cfg)
+
+    def test_replica_matches_learner_architecture(self):
+        # A replica built from the mapped kind must accept the learner
+        # agent's state dict verbatim — that is the broadcast contract.
+        cfg = _quick_cfg()
+        graph = tiny_graph()
+        learner_agent, _ = build_agent("mars", graph, CLUSTER, cfg, None)
+        kind, rep_cfg = replica_build_args("mars", cfg)
+        replica, _ = build_agent(kind, graph, CLUSTER, rep_cfg, None)
+        state = learner_agent.state_dict()
+        replica.load_state_dict(state)
+        for key, value in replica.state_dict().items():
+            np.testing.assert_array_equal(value, state[key])
+
+
+class TestWorkerSpec:
+    def test_worker_env_is_always_serial(self):
+        cfg = replace(
+            _quick_cfg(),
+            eval_batch=replace(_quick_cfg().eval_batch, mode="process", max_workers=4),
+        )
+        spec = WorkerSpec(
+            worker_id=0,
+            generation=0,
+            num_workers=2,
+            root_seed=0,
+            agent_kind="mars",
+            graph=tiny_graph(),
+            cluster=CLUSTER,
+            config=cfg,
+            protocol=PlacementEnv(tiny_graph(), CLUSTER).protocol,
+            samples_per_batch=4,
+        )
+        env_cfg = spec.worker_env_config()
+        assert env_cfg.mode == "serial"
+        # Everything else is inherited unchanged.
+        assert env_cfg.cache_capacity == cfg.eval_batch.cache_capacity
+
+
+class TestBudgetParity:
+    def test_distributed_best_no_worse_than_single_process(self):
+        """workers=2 with fixed seeds must match or beat the
+        single-process search on the identical sample budget.
+
+        The budget (30 policy iterations = 300 samples) is chosen so both
+        searches plateau at the tiny graph's reachable optimum; below
+        that, consumption-order nondeterminism lets either side win."""
+        graph = tiny_graph()
+        single = optimize_placement(
+            graph,
+            CLUSTER,
+            "mars",
+            _quick_cfg(iterations=30, workers=0),
+            telemetry=Telemetry(name="sp"),
+        )
+        tel = Telemetry(name="dp")
+        dist = optimize_placement(
+            graph, CLUSTER, "mars", _quick_cfg(iterations=30, workers=2), telemetry=tel
+        )
+        # Same budget: one consumed batch == one policy iteration.
+        assert len(dist.history.records) == len(single.history.records)
+        assert dist.history.records[-1].samples_so_far == (
+            single.history.records[-1].samples_so_far
+        )
+        assert dist.history.best_runtime <= single.history.best_runtime + 1e-12
+        assert np.isfinite(dist.final_runtime)
+        snap = tel.metrics.snapshot()
+        assert snap["counters"]["distrib.batches"]["value"] == len(dist.history.records)
+        assert snap["counters"]["distrib.weight_broadcasts"]["value"] >= 1
+        assert snap["gauges"]["distrib.policy_version"]["value"] >= 1
+        assert _no_orphans()
+
+
+class TestElasticRobustness:
+    def _trainer(self, cfg, graph):
+        env = PlacementEnv(graph, CLUSTER)
+        agent, pretrain_clock = build_agent("mars", graph, CLUSTER, cfg, None)
+        trainer = JointTrainer(agent, env, cfg.trainer, health=cfg.health)
+        return trainer, SearchHistory(pretrain_clock=pretrain_clock)
+
+    def test_sigkilled_worker_is_restarted_and_run_completes(self):
+        graph = tiny_graph()
+        cfg = _quick_cfg(iterations=6, workers=2)
+        trainer, history = self._trainer(cfg, graph)
+        tel = Telemetry(name="kill", events=RecordingLogger())
+        killed = []
+
+        def kill_once(batch, supervisor):
+            if not killed:
+                handle = supervisor.handles[0]
+                os.kill(handle.process.pid, signal.SIGKILL)
+                killed.append(handle.process.pid)
+
+        history = train_distributed(
+            trainer, cfg, "mars", history=history, telemetry=tel, on_batch=kill_once
+        )
+        assert killed, "the kill hook never fired"
+        assert history.halt_reason is None
+        assert len(history.records) == cfg.trainer.iterations
+        snap = tel.metrics.snapshot()
+        assert snap["counters"]["distrib.worker_restarts"]["value"] == 1
+        # The restarted slot announced itself.
+        statuses = [
+            (e["worker_id"], e["status"])
+            for e in tel.events.records
+            if e["type"] == "distrib_worker"
+        ]
+        assert (0, "started") in statuses and (1, "started") in statuses
+        assert (0, "restarted") in statuses
+        assert _no_orphans()
+
+    def test_losing_every_worker_halts_instead_of_hanging(self):
+        graph = tiny_graph()
+        cfg = _quick_cfg(iterations=50, workers=1, max_worker_restarts=0)
+        trainer, history = self._trainer(cfg, graph)
+        tel = Telemetry(name="lost", events=RecordingLogger())
+
+        def kill_always(batch, supervisor):
+            for handle in supervisor.handles:
+                if handle.alive:
+                    os.kill(handle.process.pid, signal.SIGKILL)
+
+        history = train_distributed(
+            trainer, cfg, "mars", history=history, telemetry=tel, on_batch=kill_always
+        )
+        assert history.halt_reason == "distrib: all rollout workers lost"
+        assert 1 <= len(history.records) < 50
+        statuses = [
+            e["status"]
+            for e in tel.events.records
+            if e["type"] == "distrib_worker"
+        ]
+        assert "lost" in statuses
+        assert _no_orphans()
+
+    def test_spawn_failure_falls_back_to_single_process(self, monkeypatch):
+        from repro.distrib import learner as learner_mod
+
+        graph = tiny_graph()
+        cfg = _quick_cfg(iterations=3, workers=2)
+        trainer, history = self._trainer(cfg, graph)
+
+        def refuse(self, workers):
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(learner_mod.Supervisor, "start_all", refuse)
+        history = train_distributed(trainer, cfg, "mars", history=history)
+        # The run still completes, on the ordinary in-process path.
+        assert len(history.records) == 3
+        assert history.halt_reason is None
+        assert _no_orphans()

@@ -1,0 +1,118 @@
+"""Tests for the versioned variable store (``repro.distrib.store``)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.distrib.store import _KEEP_BEHIND, _SNAP_PREFIX, VariableStore
+
+
+def _state(v: float):
+    return {"w": np.full((3, 2), v), "b": np.array([v])}
+
+
+def _assert_state_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key])
+
+
+class TestPublishFetch:
+    def test_fresh_store_has_version_zero_and_nothing_to_fetch(self, tmp_path):
+        store = VariableStore(str(tmp_path))
+        assert store.version == 0
+        assert store.fetch() is None
+
+    def test_publish_bumps_version_and_fetch_round_trips(self, tmp_path):
+        store = VariableStore(str(tmp_path))
+        assert store.publish(_state(1.0)) == 1
+        assert store.version == 1
+        version, state = store.fetch()
+        assert version == 1
+        _assert_state_equal(state, _state(1.0))
+
+    def test_fetch_newer_than_is_a_no_op_when_current(self, tmp_path):
+        store = VariableStore(str(tmp_path))
+        store.publish(_state(1.0))
+        assert store.fetch(newer_than=1) is None
+        store.publish(_state(2.0))
+        version, state = store.fetch(newer_than=1)
+        assert version == 2
+        _assert_state_equal(state, _state(2.0))
+
+    def test_fetch_always_returns_the_head(self, tmp_path):
+        store = VariableStore(str(tmp_path))
+        for i in range(1, 6):
+            store.publish(_state(float(i)))
+        version, state = store.fetch()
+        assert version == 5
+        _assert_state_equal(state, _state(5.0))
+
+    def test_reader_in_another_handle_sees_the_same_files(self, tmp_path):
+        # Workers get the store object via fork; the snapshot files are
+        # the actual transport. A second handle over the same directory
+        # must read what the first wrote.
+        writer = VariableStore(str(tmp_path))
+        writer.publish(_state(7.0))
+        path = writer._path(1)
+        with open(path, "rb") as fh:
+            _assert_state_equal(pickle.load(fh), _state(7.0))
+
+
+class TestPruning:
+    def _versions_on_disk(self, directory):
+        out = []
+        for name in os.listdir(directory):
+            if name.startswith(_SNAP_PREFIX) and name.endswith(".pkl"):
+                out.append(int(name[len(_SNAP_PREFIX) : -len(".pkl")]))
+        return sorted(out)
+
+    def test_old_snapshots_are_pruned_behind_the_head(self, tmp_path):
+        store = VariableStore(str(tmp_path))
+        for i in range(1, 8):
+            store.publish(_state(float(i)))
+        versions = self._versions_on_disk(str(tmp_path))
+        assert versions == [8 - _KEEP_BEHIND, 7]
+        # The head (and the one behind it) stay loadable.
+        for v in versions:
+            assert os.path.exists(store._path(v))
+
+    def test_fetch_retries_when_its_file_was_pruned_under_it(self, tmp_path):
+        # A reader that observes version v, then sleeps through enough
+        # publishes for weights-v to be pruned, must retry against the
+        # new head instead of raising FileNotFoundError.
+        class StaleVersionStore(VariableStore):
+            stale = None
+
+            @property
+            def version(self):
+                if self.stale is not None:
+                    v, self.stale = self.stale, None
+                    return v
+                return VariableStore.version.fget(self)
+
+        store = StaleVersionStore(str(tmp_path))
+        for i in range(1, 6):
+            store.publish(_state(float(i)))
+        assert not os.path.exists(store._path(1))
+        store.stale = 1  # next version read observes the pruned head
+        version, state = store.fetch(newer_than=0)
+        assert version == 5
+        _assert_state_equal(state, _state(5.0))
+
+    def test_publish_failure_leaves_no_temp_files(self, tmp_path):
+        store = VariableStore(str(tmp_path))
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            store.publish({"w": Unpicklable()})
+        assert store.version == 0
+        leftovers = [n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")]
+        assert leftovers == []
+        # The store still works after the failed publish.
+        assert store.publish(_state(1.0)) == 1

@@ -236,6 +236,73 @@ class TestBatchEvaluatorInternals:
         assert ev._pool_broken
         assert ev._pick_mode(10) == "serial"
 
+    def test_broken_pool_mid_batch_rebuilds_then_degrades(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        g = tiny_graph()
+        cfg = BatchEvalConfig(
+            mode="thread", max_workers=2, min_parallel=1, min_ops_parallel=0,
+            max_pool_rebuilds=1,
+        )
+        ev = BatchEvaluator(self._evaluator(g), cfg)
+        serial = BatchEvaluator(self._evaluator(g), BatchEvalConfig(mode="serial"))
+
+        class DyingExecutor:
+            def map(self, *args, **kwargs):
+                raise BrokenProcessPool("worker killed mid-batch")
+
+        ev._ensure_executor = lambda kind: DyingExecutor()
+        jobs = [(np.full(g.num_nodes, i % 2, dtype=np.int64), i) for i in range(4)]
+
+        # First failure: the batch finishes serially (identical results)
+        # and the pool stays eligible for a rebuild next batch.
+        outcomes, workers = ev.compute_many(jobs)
+        assert workers == 0
+        assert outcomes == serial.compute_many(jobs)[0]
+        assert ev.pool_failures == 1
+        assert not ev._pool_broken
+        assert ev._pick_mode(len(jobs)) == "thread"  # rebuild allowed
+
+        # Second failure exceeds max_pool_rebuilds=1: permanent serial.
+        outcomes, workers = ev.compute_many(jobs)
+        assert workers == 0 and outcomes == serial.compute_many(jobs)[0]
+        assert ev.pool_failures == 2
+        assert ev._pool_broken
+        assert ev._pick_mode(len(jobs)) == "serial"
+
+    def test_env_counts_pool_failures(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        tel = Telemetry(name="test")
+        g = tiny_graph()
+        env = PlacementEnv(
+            g,
+            CLUSTER,
+            telemetry=tel,
+            batch=BatchEvalConfig(
+                mode="thread", max_workers=2, min_parallel=1, min_ops_parallel=0
+            ),
+        )
+        serial_env = PlacementEnv(g, CLUSTER, batch=BatchEvalConfig(mode="serial"))
+
+        class DyingExecutor:
+            def map(self, *args, **kwargs):
+                raise BrokenProcessPool("worker killed mid-batch")
+
+        env._batcher._ensure_executor = lambda kind: DyingExecutor()
+        batch = random_batch(g, n=6, duplicates=False)
+        results = env.evaluate_batch(batch)
+        # The batch still completes, identical to the serial path.
+        assert results == serial_env.evaluate_batch(batch)
+        assert env.stats.eval_pool_failures == 1
+        snap = tel.metrics.snapshot()
+        assert snap["counters"]["env.eval_pool_failures"]["value"] == 1.0
+        # The failure count survives a snapshot round-trip.
+        state = env.state_dict()
+        env2 = PlacementEnv(g, CLUSTER)
+        env2.load_state_dict(state)
+        assert env2.stats.eval_pool_failures == 1
+
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError):
             BatchEvalConfig(mode="gpu")

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""End-to-end distributed-training smoke test (``make distrib-smoke``).
+
+Runs one small search through the full ``repro.distrib`` stack — two
+rollout-worker processes, the versioned variable store, the sample
+queues and the central learner — and asserts the three things a
+distributed run must always deliver:
+
+1. **progress** — the search consumes its full iteration budget, finds a
+   finite best placement, and every batch came through the workers
+   (``distrib.batches`` == iterations, both workers contributed);
+2. **clean shutdown** — ``optimize_placement`` returns with no halt
+   reason and the supervisor tears the fleet down;
+3. **no orphaned processes** — ``multiprocessing.active_children()``
+   drains to empty after the run (a leaked rollout worker would keep the
+   interpreter — and CI — alive forever).
+
+Exit status is non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+ITERATIONS = 6
+WORKERS = 2
+
+
+def main() -> int:
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.config import fast_profile
+    from repro.core.search import optimize_placement
+    from repro.sim.cluster import ClusterSpec
+    from repro.telemetry import Telemetry
+    from repro.workloads import get_workload
+
+    cfg = fast_profile(seed=0, iterations=ITERATIONS)
+    cfg = replace(
+        cfg,
+        pretrain=replace(cfg.pretrain, iterations=5),
+        distrib=replace(cfg.distrib, workers=WORKERS),
+    )
+    tel = Telemetry(name="distrib-smoke")
+
+    t0 = time.perf_counter()
+    result = optimize_placement(
+        get_workload("vgg16"), ClusterSpec.default(), "mars", cfg, telemetry=tel
+    )
+    wall = time.perf_counter() - t0
+
+    failures = []
+    history = result.history
+    if len(history.records) != ITERATIONS:
+        failures.append(
+            f"ran {len(history.records)} iterations, expected {ITERATIONS}"
+        )
+    if history.halt_reason is not None:
+        failures.append(f"unexpected halt: {history.halt_reason!r}")
+    if not np.isfinite(result.final_runtime):
+        failures.append(f"final runtime not finite: {result.final_runtime!r}")
+    if history.best_placement is None:
+        failures.append("no best placement found")
+
+    snap = tel.metrics.snapshot()
+    counters = snap["counters"]
+    batches = counters.get("distrib.batches", {}).get("value", 0)
+    if batches != ITERATIONS:
+        failures.append(f"distrib.batches == {batches}, expected {ITERATIONS}")
+    broadcasts = counters.get("distrib.weight_broadcasts", {}).get("value", 0)
+    if broadcasts < 1:
+        failures.append("no weight broadcast recorded")
+    restarts = counters.get("distrib.worker_restarts", {}).get("value", 0)
+    if restarts:
+        failures.append(f"workers restarted {restarts}x during a healthy run")
+
+    # Shutdown hygiene: every rollout worker must be joined and reaped.
+    deadline = time.monotonic() + 10.0
+    children = multiprocessing.active_children()
+    while children and time.monotonic() < deadline:
+        time.sleep(0.05)
+        children = multiprocessing.active_children()
+    if children:
+        failures.append(
+            "orphaned processes after shutdown: "
+            + ", ".join(f"{c.name} (pid {c.pid})" for c in children)
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL distrib-smoke: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"distrib-smoke: OK ({WORKERS} workers x {ITERATIONS} iterations on "
+        f"vgg16 in {wall:.1f}s, best {history.best_runtime:.4f}s, "
+        "clean shutdown, no orphans)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
