@@ -3,7 +3,12 @@
 Times the three request paths a deployment actually sees — cache hit,
 greedy miss (one argmax decode + one simulation) and refined miss
 (greedy + ``budget`` sampled candidates through ``evaluate_batch``) —
-so the serving docs' latency claims stay honest. Two entry points:
+plus a **duplicate-heavy open-loop load test**: thundering herds of
+identical requests fired on a fixed arrival schedule (open loop — the
+load does not wait for responses) against the full queue + worker
+stack, with single-flight coalescing on vs off at the same offered
+load. The coalescing row in ``BENCH_serve.json`` backs the ≥2× p99
+claim in docs/serving.md §4. Two entry points:
 
 * ``pytest benchmarks/bench_serve.py --benchmark-only`` — the
   pytest-benchmark harness (calibrated statistics, nice terminal table);
@@ -11,6 +16,8 @@ so the serving docs' latency claims stay honest. Two entry points:
   runner that times the same paths with ``time.perf_counter`` and writes
   ``benchmarks/BENCH_serve.json``, the machine-readable record the
   cross-PR perf trajectory accumulates (docs/performance.md).
+  ``--smoke`` runs a shrunken herd comparison with correctness asserts
+  and no JSON write (wired into ``make bench-smoke``).
 """
 
 import json
@@ -18,6 +25,7 @@ import os
 import statistics
 import sys
 import tempfile
+import threading
 import time
 
 import pytest
@@ -27,12 +35,14 @@ JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_serv
 from repro.config import fast_profile
 from repro.core import save_agent
 from repro.core.search import build_agent
-from repro.graph import graph_to_dict
+from repro.graph import CompGraph, OpNode, graph_to_dict
 from repro.serve import (
     PlacementRequest,
     PlacementService,
     PolicyRegistry,
+    RequestQueue,
     ServeConfig,
+    ServiceOverloaded,
 )
 from repro.sim import ClusterSpec
 from repro.workloads import build_vgg16
@@ -107,6 +117,165 @@ def _time_path(fn, rounds: int):
     return {"best_s": float(min(times)), "median_s": float(statistics.median(times))}
 
 
+# ----------------------------------------------------------------------
+# Duplicate-heavy open-loop load test (single-flight coalescing A/B)
+# ----------------------------------------------------------------------
+def _dup_graph(index: int, length: int):
+    """Small distinct chain graphs — the duplicate-heavy request mix."""
+    g = CompGraph(f"dup{index}")
+    g.add_node(OpNode("in", "Input", (4, 8), cpu_only=True))
+    prev = "in"
+    for i in range(length):
+        node = f"op{i}"
+        g.add_node(
+            OpNode(node, "MatMul", (4, 16), flops=1e6, param_bytes=256),
+            inputs=[prev],
+        )
+        prev = node
+    g.add_node(OpNode("loss", "CrossEntropy", (1,), flops=64), inputs=[prev])
+    return g
+
+
+def _percentile(values, pct: float) -> float:
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+def _run_herd_mode(registry, docs, *, coalesce, waves, herd, interval_s, ttl, budget, workers):
+    """Fire ``waves`` herds of ``herd`` identical requests on a fixed
+    open-loop schedule (arrivals never wait for responses) and measure
+    client-perceived latency. ``ttl`` is shorter than a key's revisit
+    interval, so every wave starts cold — the thundering-herd scenario
+    coalescing exists for."""
+    config = ServeConfig(
+        workers=workers, max_queue=4096, max_batch=4, cache_ttl=ttl, coalesce=coalesce
+    )
+    service = PlacementService(registry, config=config)
+    queue = RequestQueue(service)
+    lock = threading.Lock()
+    latencies, states = [], []
+    rejected = 0
+    expected = 0
+    try:
+        for doc in docs:  # build agents/envs outside the timed window
+            queue.submit_and_wait(PlacementRequest(graph=doc, budget=budget), timeout=120.0)
+        time.sleep(ttl * 2)  # let the warmup entries expire
+
+        def record(future, arrival):
+            latency_ms = (time.perf_counter() - arrival) * 1e3
+            with lock:
+                try:
+                    response = future.result()
+                except Exception:
+                    states.append("error")
+                else:
+                    latencies.append(latency_ms)
+                    states.append(response.cache)
+
+        t0 = time.perf_counter()
+        for wave in range(waves):
+            delay = t0 + wave * interval_s - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            doc = docs[wave % len(docs)]
+            for _ in range(herd):
+                arrival = time.perf_counter()
+                try:
+                    future = queue.submit(PlacementRequest(graph=doc, budget=budget))
+                except ServiceOverloaded:
+                    rejected += 1
+                    continue
+                expected += 1
+                future.add_done_callback(
+                    lambda f, arrival=arrival: record(f, arrival)
+                )
+        deadline = time.perf_counter() + 120.0
+        while time.perf_counter() < deadline:
+            with lock:
+                if len(states) == expected:
+                    break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError("herd requests never drained")
+    finally:
+        queue.shutdown()
+        service.close()
+    if not latencies:
+        raise RuntimeError("no successful herd responses recorded")
+    return {
+        "coalesce": bool(coalesce),
+        "requests": int(expected),
+        "rejected": int(rejected),
+        "errors": int(states.count("error")),
+        "computes": int(states.count("miss")),
+        "coalesced": int(states.count("coalesced")),
+        "hits": int(states.count("hit")),
+        "p50_ms": _percentile(latencies, 50),
+        "p99_ms": _percentile(latencies, 99),
+        "mean_ms": float(statistics.fmean(latencies)),
+    }
+
+
+def run_duplicate_heavy(smoke: bool = False):
+    """A/B the duplicate-heavy herd load with coalescing off vs on at
+    the same offered load. Returns the BENCH_serve.json row."""
+    if smoke:
+        params = dict(waves=6, herd=12, interval_s=0.06, ttl=0.03, budget=8, workers=2)
+        lengths = (5, 6)
+    else:
+        params = dict(waves=24, herd=24, interval_s=0.08, ttl=0.05, budget=16, workers=6)
+        lengths = (6, 7)
+    docs = [graph_to_dict(_dup_graph(i, n)) for i, n in enumerate(lengths)]
+
+    cfg = fast_profile(seed=0)
+    anchor = _dup_graph(0, lengths[0])
+    with tempfile.TemporaryDirectory(prefix="serve-herd-") as ckpt_dir:
+        agent, _ = build_agent("mars_no_pretrain", anchor, CLUSTER, cfg, None)
+        save_agent(
+            os.path.join(ckpt_dir, "mars__dup"), agent, "mars",
+            workload=anchor.name, config=cfg,
+        )
+        registry = PolicyRegistry(ckpt_dir)  # shared: agents load once
+        off = _run_herd_mode(registry, docs, coalesce=False, **params)
+        on = _run_herd_mode(registry, docs, coalesce=True, **params)
+
+    improvement = off["p99_ms"] / on["p99_ms"] if on["p99_ms"] > 0 else float("inf")
+    print(f"\nduplicate-heavy open-loop load "
+          f"({params['waves']} waves x {params['herd']} dup requests, "
+          f"{params['interval_s'] * 1e3:.0f} ms interval, budget={params['budget']})")
+    print(f"{'mode':<14} {'computes':>9} {'coalesced':>10} {'hits':>6} "
+          f"{'p50_ms':>9} {'p99_ms':>9}")
+    for row in (off, on):
+        mode = "coalesce_on" if row["coalesce"] else "coalesce_off"
+        print(f"{mode:<14} {row['computes']:>9} {row['coalesced']:>10} "
+              f"{row['hits']:>6} {row['p50_ms']:>9.2f} {row['p99_ms']:>9.2f}")
+    print(f"p99 improvement: {improvement:.2f}x")
+
+    for row in (off, on):
+        assert row["errors"] == 0, f"herd requests failed: {row}"
+        assert row["rejected"] == 0, f"herd requests rejected: {row}"
+    assert on["computes"] < off["computes"], (
+        f"coalescing did not reduce computes: {on['computes']} vs {off['computes']}"
+    )
+    assert on["coalesced"] > 0, "no request ever coalesced"
+    if not smoke:
+        assert improvement >= 2.0, (
+            f"p99 improvement {improvement:.2f}x below the 2x acceptance bar"
+        )
+    return {
+        "herd": int(params["herd"]),
+        "waves": int(params["waves"]),
+        "interval_ms": float(params["interval_s"] * 1e3),
+        "budget": int(params["budget"]),
+        "workers": int(params["workers"]),
+        "cache_ttl_s": float(params["ttl"]),
+        "coalesce_off": off,
+        "coalesce_on": on,
+        "p99_improvement": float(improvement),
+    }
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -114,7 +283,17 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds", type=int, default=20, help="timing repetitions per path")
     parser.add_argument("--budget", type=int, default=8, help="refinement budget for the refined path")
     parser.add_argument("--json", default=JSON_PATH, help="output path for the JSON record")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick correctness pass of the herd comparison, no JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        run_duplicate_heavy(smoke=True)
+        print("serve bench smoke OK")
+        return 0
 
     graph = build_vgg16(scale=0.25, batch_size=4)
     graph_doc = graph_to_dict(graph)
@@ -144,6 +323,7 @@ def main(argv=None) -> int:
     print(f"{'path':<14} {'best_ms':>10} {'median_ms':>10}")
     for name, row in results.items():
         print(f"{name:<14} {row['best_s'] * 1e3:>10.3f} {row['median_s'] * 1e3:>10.3f}")
+    duplicate_heavy = run_duplicate_heavy(smoke=False)
     doc = {
         "benchmark": "serve",
         "workload": graph.name,
@@ -151,6 +331,7 @@ def main(argv=None) -> int:
         "rounds": int(args.rounds),
         "budget": int(args.budget),
         "paths": results,
+        "duplicate_heavy": duplicate_heavy,
     }
     with open(args.json, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

@@ -13,8 +13,9 @@ Layers, bottom up:
 * :class:`PlacementService` — the programmatic API: request in (graph
   JSON or workload name + cluster spec + refinement budget), response
   out (placement, predicted step time, policy id, cache status, latency);
-  greedy fast path, bounded refinement via ``evaluate_batch``, and a
-  fingerprint LRU+TTL result cache.
+  greedy fast path, bounded refinement via ``evaluate_batch``, a
+  fingerprint LRU+TTL result cache, and single-flight coalescing of
+  identical in-flight requests (:class:`SingleFlight`).
 * :class:`RequestQueue` — worker threads, micro-batching, bounded-queue
   admission control with the typed :class:`ServiceOverloaded` error,
   graceful draining shutdown.
@@ -32,6 +33,7 @@ Quickstart::
 """
 
 from repro.serve.cache import CacheStats, FingerprintCache
+from repro.serve.coalesce import Flight, FlightStats, SingleFlight
 from repro.serve.http import PlacementServer
 from repro.serve.queue import RequestQueue
 from repro.serve.registry import LoadedPolicy, PolicyRegistry, PolicySpec
@@ -51,6 +53,8 @@ __all__ = [
     "BadRequest",
     "CacheStats",
     "FingerprintCache",
+    "Flight",
+    "FlightStats",
     "LoadedPolicy",
     "PlacementRequest",
     "PlacementResponse",
@@ -64,4 +68,5 @@ __all__ = [
     "ServiceClosed",
     "ServiceError",
     "ServiceOverloaded",
+    "SingleFlight",
 ]

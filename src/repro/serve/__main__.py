@@ -102,6 +102,26 @@ def build_parser() -> argparse.ArgumentParser:
         "meaningful with --telemetry-dir)",
     )
     parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight coalescing of identical in-flight "
+        "requests (on by default; see docs/serving.md §4)",
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="before serving, replay every registered checkpoint's "
+        "workload fingerprint to pre-populate the result cache "
+        "(best-effort; unknown workload names are skipped)",
+    )
+    parser.add_argument(
+        "--warm-budget",
+        type=int,
+        default=0,
+        metavar="N",
+        help="refinement budget for --warm replays (default 0 = greedy)",
+    )
+    parser.add_argument(
         "--no-health",
         action="store_true",
         help="disable the rejection-rate and SLO health watchdog",
@@ -131,6 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_capacity=args.cache_capacity,
         cache_ttl=args.cache_ttl,
         max_budget=args.max_budget,
+        coalesce=not args.no_coalesce,
     )
     registry = PolicyRegistry(args.checkpoint_dir)
     if not len(registry):
@@ -145,6 +166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         telemetry=telemetry,
         health=HealthConfig(enabled=not args.no_health, action="warn"),
     )
+    if args.warm:
+        with use_telemetry(telemetry):
+            warmed = service.warm(budget=args.warm_budget)
+        logger.info("--warm pre-populated %d cache entries", warmed)
     server = PlacementServer(
         service, host=args.host, port=args.port, queue=RequestQueue(service)
     )

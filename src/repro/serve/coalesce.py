@@ -1,0 +1,129 @@
+"""Single-flight coalescing of identical in-flight requests.
+
+The fingerprint result cache (``cache.py``) only helps *after* a result
+lands. Under a thundering herd — many concurrent requests for the same
+composite fingerprint, the common case for a policy serving millions of
+users — every worker thread that misses the cache recomputes the same
+placement. :class:`SingleFlight` closes that window: the first request
+for a key becomes the **leader** and computes; concurrent duplicates
+become **followers** and await the leader's ``Future``. One herd, one
+computation, N cheap waits.
+
+The table is intentionally tiny and generic: ``begin(key)`` returns a
+:class:`Flight` plus a leader flag; the leader *must* resolve the flight
+exactly once via :meth:`SingleFlight.finish` (result or exception —
+``finish`` also removes the key, so later requests start a fresh
+flight); followers block in :meth:`Flight.wait`. Leader failures
+propagate to every follower of that flight — they raced the same
+computation and would have hit the same error — but never poison later
+flights.
+
+Used by :meth:`repro.serve.service.PlacementService.handle` keyed by the
+composite request fingerprint (graph hash + cluster signature + policy
+id + budget); see docs/serving.md §4.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Flight", "FlightStats", "SingleFlight"]
+
+
+@dataclass
+class FlightStats:
+    """Cumulative single-flight bookkeeping (monotonic counters)."""
+
+    #: Flights led (one per key that was not already in flight).
+    flights: int = 0
+    #: Requests that joined an existing flight instead of computing.
+    coalesced: int = 0
+    #: Flights the leader resolved with an exception.
+    failures: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "flights": self.flights,
+            "coalesced": self.coalesced,
+            "failures": self.failures,
+        }
+
+
+class Flight:
+    """One in-flight computation: a ``Future`` plus its follower count."""
+
+    __slots__ = ("key", "future", "followers")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.future: "Future[Any]" = Future()
+        self.followers = 0
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the leader resolves the flight; re-raises the
+        leader's exception."""
+        return self.future.result(timeout=timeout)
+
+
+class SingleFlight:
+    """Thread-safe in-flight table: one computation per key at a time."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: Dict[str, Flight] = {}
+        self.stats = FlightStats()
+
+    def __len__(self) -> int:
+        """Keys currently in flight."""
+        with self._lock:
+            return len(self._flights)
+
+    def begin(self, key: str) -> Tuple[Flight, bool]:
+        """Join or open the flight for ``key``.
+
+        Returns ``(flight, leader)``. When ``leader`` is true the caller
+        owns the computation and **must** call :meth:`finish` exactly
+        once (use ``try/except BaseException`` — an unresolved flight
+        would park every follower forever). When false, the caller waits
+        on ``flight.wait()``.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.followers += 1
+                self.stats.coalesced += 1
+                return flight, False
+            flight = Flight(key)
+            self._flights[key] = flight
+            self.stats.flights += 1
+            return flight, True
+
+    def finish(
+        self,
+        flight: Flight,
+        result: Any = None,
+        exception: Optional[BaseException] = None,
+    ) -> int:
+        """Resolve ``flight`` and retire its key; leader-only.
+
+        The key is removed *before* the future resolves, so a request
+        arriving after resolution never joins a spent flight. Returns the
+        number of followers that were released.
+        """
+        with self._lock:
+            # Only retire the key if it still maps to this flight — a
+            # defensive guard; with a single leader per flight it always
+            # does.
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+            followers = flight.followers
+            if exception is not None:
+                self.stats.failures += 1
+        if exception is not None:
+            flight.future.set_exception(exception)
+        else:
+            flight.future.set_result(result)
+        return followers

@@ -161,6 +161,14 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, response.to_json())
 
 
+class _HTTPServer(ThreadingHTTPServer):
+    # TCPServer's default accept backlog of 5 resets connections when a
+    # thundering herd connects at once — exactly the traffic the serve
+    # stack is built to absorb. Admission control (ServiceOverloaded),
+    # not the kernel backlog, is the intended overload surface.
+    request_queue_size = 128
+
+
 class PlacementServer:
     """Owns the HTTP server, the queue and (optionally) a server thread."""
 
@@ -174,7 +182,7 @@ class PlacementServer:
     ):
         self.service = service
         self.queue = queue or RequestQueue(service)
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = service
         self._httpd.queue = self.queue

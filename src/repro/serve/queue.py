@@ -18,7 +18,10 @@ The queue is the service's concurrency and admission-control layer:
 * **Graceful shutdown.** :meth:`RequestQueue.shutdown` stops admissions,
   lets the workers drain everything already accepted, and joins them —
   every admitted request gets a real response (or a typed error), even
-  during shutdown.
+  during shutdown. A request that slips in between the closed check and
+  the enqueue after the workers already exited is drained and failed
+  with :class:`ServiceClosed` — a future returned by :meth:`submit` is
+  *always* resolved, never parked forever.
 
 Results travel back through ``concurrent.futures.Future``; callers use
 :meth:`RequestQueue.submit_and_wait` for a synchronous round trip (this
@@ -31,6 +34,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import List, Optional, Tuple
 
 from repro.serve.service import (
@@ -66,6 +70,10 @@ class RequestQueue:
             queue.Queue(maxsize=cfg.max_queue)
         )
         self._closed = threading.Event()
+        # Set once shutdown() has joined the workers and drained residual
+        # items: from then on nothing will ever service the queue, so a
+        # late enqueue must be failed by whoever made it (see submit()).
+        self._terminated = threading.Event()
         self._workers: List[threading.Thread] = []
         self._n_workers = cfg.workers
         if start:
@@ -85,6 +93,7 @@ class RequestQueue:
         if self._workers:
             return
         self._closed.clear()
+        self._terminated.clear()
         for i in range(self._n_workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
@@ -113,6 +122,15 @@ class RequestQueue:
             raise ServiceOverloaded(
                 f"request queue full ({self._queue.maxsize} pending); retry later"
             ) from None
+        # Close the submit/shutdown race: the closed check above and the
+        # enqueue are not atomic, so shutdown() can run to completion in
+        # between — workers gone, residual drain done — leaving this item
+        # with nothing to ever resolve its future. If termination finished
+        # before our enqueue became visible, drain-and-fail it ourselves
+        # (set before fail_residual, so either shutdown's drain or this
+        # one sees the item; both is fine — first getter owns it).
+        if self._terminated.is_set():
+            self._fail_residual()
         self.service.note_admission(rejected=False)
         self._gauge_depth()
         return future
@@ -120,8 +138,18 @@ class RequestQueue:
     def submit_and_wait(
         self, request: PlacementRequest, timeout: Optional[float] = None
     ) -> PlacementResponse:
-        """Synchronous round trip; re-raises the service's typed errors."""
-        return self.submit(request).result(timeout=timeout)
+        """Synchronous round trip; re-raises the service's typed errors.
+
+        On timeout the future is cancelled so a still-queued request is
+        skipped by the workers (``set_running_or_notify_cancel``) instead
+        of being computed for a caller that already gave up. A request a
+        worker has started is past cancelling and completes normally."""
+        future = self.submit(request)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            future.cancel()
+            raise
 
     # ------------------------------------------------------------------
     # Workers
@@ -193,9 +221,41 @@ class RequestQueue:
                     tel.histogram("serve.compute_s").observe(compute_s)
 
     # ------------------------------------------------------------------
+    def _fail_residual(self) -> int:
+        """Drain the queue and fail every stranded item with
+        :class:`ServiceClosed`; returns how many were failed. Safe to run
+        concurrently with live workers — ``Queue.get`` hands each item to
+        exactly one owner, so a request is either served or failed, never
+        both, never neither."""
+        failed = 0
+        while True:
+            try:
+                request, future, _, _ = self._queue.get_nowait()
+            except queue.Empty:
+                return failed
+            if future.set_running_or_notify_cancel():
+                future.set_exception(
+                    ServiceClosed(
+                        f"service shut down before request "
+                        f"{request.request_id or '(unnamed)'} was served"
+                    )
+                )
+                failed += 1
+
     def shutdown(self, timeout: Optional[float] = 30.0) -> None:
-        """Stop admitting, drain everything admitted, join the workers."""
+        """Stop admitting, drain everything admitted, join the workers.
+
+        Requests that raced past the admission check while the workers
+        were exiting are drained here and failed with
+        :class:`ServiceClosed` — no future from :meth:`submit` is ever
+        left unresolved."""
         self._closed.set()
         for thread in self._workers:
             thread.join(timeout=timeout)
         self._workers = []
+        self._terminated.set()
+        failed = self._fail_residual()
+        if failed:
+            logger.warning(
+                "shutdown drained %d unserved request(s) with ServiceClosed", failed
+            )

@@ -22,11 +22,15 @@ Two paths:
 
 Results are cached by a composite fingerprint — graph content hash
 (:meth:`CompGraph.fingerprint`) + policy id + cluster signature + budget
-— so identical graphs never re-run inference.
+— so identical graphs never re-run inference. Identical *in-flight*
+requests coalesce through a single-flight table under the same key
+(:mod:`repro.serve.coalesce`): one herd, one computation, the rest await
+the leader's future and answer with ``cache="coalesced"``.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 import uuid
@@ -37,6 +41,7 @@ import numpy as np
 
 from repro.graph import CompGraph, graph_from_dict
 from repro.serve.cache import FingerprintCache
+from repro.serve.coalesce import Flight, SingleFlight
 from repro.serve.registry import LoadedPolicy, PolicyRegistry, PolicySpec
 from repro.sim.batch import BatchEvalConfig
 from repro.sim.cluster import ClusterSpec
@@ -117,6 +122,7 @@ class ServeConfig:
     cache_ttl: Optional[float] = None  # seconds; None = never expires
     max_budget: int = 64  # per-request refinement budget ceiling
     env_cache_size: int = 8  # built PlacementEnvs kept per service
+    coalesce: bool = True  # single-flight identical in-flight requests
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -181,7 +187,7 @@ class PlacementResponse:
     device_names: List[str]
     predicted_step_time: float  # noise-free simulated step time (seconds)
     valid: bool  # False -> best candidate still OOMs
-    cache: str  # "hit" | "miss"
+    cache: str  # "hit" | "miss" | "coalesced" (awaited an in-flight twin)
     budget: int
     candidates_evaluated: int
     latency_ms: float
@@ -236,6 +242,13 @@ class PlacementService:
         self._lock = threading.Lock()  # telemetry + env-cache mutation
         self._envs: Dict[str, PlacementEnv] = {}
         self._env_order: List[str] = []
+        # Per-key build locks so two threads missing the same env key never
+        # both construct a PlacementEnv (the loser's env — and its eval
+        # pool — would be dropped without close_pool()).
+        self._env_builds: Dict[str, threading.Lock] = {}
+        # In-flight table: identical concurrent requests coalesce to one
+        # computation (docs/serving.md §4). Keyed like the result cache.
+        self._flights = SingleFlight()
 
     # ------------------------------------------------------------------
     def _tel(self) -> Telemetry:
@@ -270,6 +283,8 @@ class PlacementService:
                 tel.counter("serve.errors").inc()
             elif cache == "hit":
                 tel.counter("serve.cache_hits").inc()
+            elif cache == "coalesced":
+                tel.counter("serve.coalesced").inc()
             # Every serviced request feeds the SLO detectors (p99 latency,
             # error burn rate) — including failures, which is the point.
             self.watchdog.observe_serve(latency_ms, ok=(status == "ok"))
@@ -356,24 +371,35 @@ class PlacementService:
                 self._env_order.remove(key)
                 self._env_order.append(key)
                 return env
-        # Pin the service's telemetry session on the env so env.* metrics
-        # (and spans) land in the registry /metrics exposes, regardless of
-        # which worker thread triggers the build.
-        env = PlacementEnv(
-            graph,
-            cluster,
-            batch=self.eval_batch,
-            incremental=self.incremental,
-            telemetry=self._telemetry,
-        )
-        with self._lock:
-            if key not in self._envs:
+            build_lock = self._env_builds.setdefault(key, threading.Lock())
+        # Serialize construction per key: concurrent requests missing the
+        # same env wait for one build instead of each building their own
+        # (and leaking the losers' eval pools).
+        with build_lock:
+            with self._lock:
+                env = self._envs.get(key)
+                if env is not None:
+                    self._env_order.remove(key)
+                    self._env_order.append(key)
+                    return env
+            # Pin the service's telemetry session on the env so env.* metrics
+            # (and spans) land in the registry /metrics exposes, regardless of
+            # which worker thread triggers the build.
+            env = PlacementEnv(
+                graph,
+                cluster,
+                batch=self.eval_batch,
+                incremental=self.incremental,
+                telemetry=self._telemetry,
+            )
+            with self._lock:
                 self._envs[key] = env
                 self._env_order.append(key)
                 while len(self._env_order) > self.config.env_cache_size:
                     evicted = self._env_order.pop(0)
                     self._envs.pop(evicted).close_pool()
-            return self._envs[key]
+                self._env_builds.pop(key, None)
+            return env
 
     # ------------------------------------------------------------------
     # The placement computation
@@ -447,6 +473,61 @@ class PlacementService:
         )
 
     # ------------------------------------------------------------------
+    # Single-flight plumbing
+    # ------------------------------------------------------------------
+    def _finish_flight(
+        self,
+        flight: Optional[Flight],
+        result: Optional[PlacementResponse] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        """Resolve ``flight`` if one is open; returns ``None`` so callers
+        can clear their local in one statement (finish is once-only)."""
+        if flight is not None:
+            self._flights.finish(flight, result=result, exception=exception)
+        return None
+
+    def _join_flight(
+        self,
+        request: PlacementRequest,
+        flight: Flight,
+        start: float,
+        trace_id: str,
+    ) -> PlacementResponse:
+        """Follower path: await the leader's response for the same key.
+
+        Re-raises the leader's typed error (the herd raced one
+        computation; they share its outcome). The follower's response is
+        the leader's with its own identity, ``cache="coalesced"`` and its
+        own latency."""
+        wait_start = time.perf_counter()
+        shared: PlacementResponse = flight.wait()
+        wait_s = time.perf_counter() - wait_start
+        latency_ms = (time.perf_counter() - start) * 1e3
+        response = replace(
+            shared,
+            request_id=request.request_id,
+            cache="coalesced",
+            latency_ms=latency_ms,
+            trace_id=trace_id,
+        )
+        with self._lock:
+            self._tel().histogram("serve.coalesce_wait_s").observe(wait_s)
+        self._emit_request(
+            request,
+            "ok",
+            "coalesced",
+            latency_ms,
+            policy_id=response.policy_id,
+            fingerprint=response.fingerprint,
+            trace_id=trace_id,
+            predicted_step_time=float(response.predicted_step_time),
+            valid=bool(response.valid),
+            workload=response.workload,
+        )
+        return response
+
+    # ------------------------------------------------------------------
     def handle(self, request: PlacementRequest) -> PlacementResponse:
         """Serve one request synchronously. Raises the typed
         :class:`ServiceError` subclasses on failure."""
@@ -487,43 +568,63 @@ class PlacementService:
                 cluster_sig = cluster.signature()
                 key = f"{fingerprint}:{cluster_sig}:{spec.policy_id}:{request.budget}"
 
-                if request.use_cache:
-                    cached = self.cache.get(key)
-                    if cached is not None:
-                        latency_ms = (time.perf_counter() - start) * 1e3
-                        response = replace(
-                            cached,
-                            request_id=request.request_id,
-                            cache="hit",
-                            latency_ms=latency_ms,
-                            trace_id=trace_id,
-                        )
-                        self._emit_request(
-                            request,
-                            "ok",
-                            "hit",
-                            latency_ms,
-                            policy_id=spec.policy_id,
-                            fingerprint=fingerprint,
-                            trace_id=trace_id,
-                            predicted_step_time=float(response.predicted_step_time),
-                            valid=bool(response.valid),
-                            workload=response.workload,
-                        )
-                        return response
+                # Single-flight: join an identical in-flight computation
+                # instead of touching the cache or recomputing. The leader
+                # resolves the flight with its response (computed or
+                # cache-hit) — one computation per herd, and exactly one
+                # cache miss counted per herd. `use_cache=False` opts out:
+                # that request explicitly wants its own computation.
+                flight: Optional[Flight] = None
+                if request.use_cache and self.config.coalesce:
+                    flight, leader = self._flights.begin(key)
+                    if not leader:
+                        return self._join_flight(request, flight, start, trace_id)
+                try:
+                    if request.use_cache:
+                        cached = self.cache.get(key)
+                        if cached is not None:
+                            latency_ms = (time.perf_counter() - start) * 1e3
+                            response = replace(
+                                cached,
+                                request_id=request.request_id,
+                                cache="hit",
+                                latency_ms=latency_ms,
+                                trace_id=trace_id,
+                            )
+                            flight = self._finish_flight(flight, cached)
+                            self._emit_request(
+                                request,
+                                "ok",
+                                "hit",
+                                latency_ms,
+                                policy_id=spec.policy_id,
+                                fingerprint=fingerprint,
+                                trace_id=trace_id,
+                                predicted_step_time=float(response.predicted_step_time),
+                                valid=bool(response.valid),
+                                workload=response.workload,
+                            )
+                            return response
 
-                response = self._compute(
-                    request,
-                    graph,
-                    cluster,
-                    spec,
-                    fingerprint,
-                    f"{fingerprint}:{cluster_sig}",
-                )
-                response.latency_ms = (time.perf_counter() - start) * 1e3
-                response.trace_id = trace_id
-                if request.use_cache:
-                    self.cache.put(key, response)
+                    response = self._compute(
+                        request,
+                        graph,
+                        cluster,
+                        spec,
+                        fingerprint,
+                        f"{fingerprint}:{cluster_sig}",
+                    )
+                    response.latency_ms = (time.perf_counter() - start) * 1e3
+                    response.trace_id = trace_id
+                    if request.use_cache:
+                        self.cache.put(key, response)
+                    flight = self._finish_flight(flight, response)
+                except BaseException as exc:
+                    # The leader must always resolve its flight — an
+                    # unresolved one would park every follower forever.
+                    # Followers re-raise this from flight.wait().
+                    self._finish_flight(flight, exception=exc)
+                    raise
                 with self._lock:
                     tel = self._tel()
                     tel.gauge("serve.cache_size").set(len(self.cache))
@@ -546,6 +647,71 @@ class PlacementService:
                     request, exc.code, "none", latency_ms, trace_id=trace_id
                 )
                 raise
+
+    # ------------------------------------------------------------------
+    # Cache warming
+    # ------------------------------------------------------------------
+    #: Workload graph names encode their build kwargs —
+    #: ``<generator>_b<batch>[_s<scale>]`` (see repro/workloads) — so a
+    #: sidecar's ``workload`` field can be replayed into the exact graph
+    #: (and fingerprint) the policy was trained on.
+    _WORKLOAD_NAME = re.compile(r"^(?P<gen>[a-z0-9_]+?)_b(?P<batch>\d+)(?:_s(?P<scale>[0-9.]+))?$")
+
+    def _warm_request(self, spec: PolicySpec, budget: int) -> Optional[PlacementRequest]:
+        """The replay request for one registered checkpoint, or ``None``
+        when its workload name cannot be reconstructed."""
+        from repro.workloads import WORKLOADS
+
+        name, kwargs = spec.workload, {}
+        if name not in WORKLOADS:
+            match = self._WORKLOAD_NAME.match(name)
+            if match is None or match.group("gen") not in WORKLOADS:
+                return None
+            name = match.group("gen")
+            kwargs = {"batch_size": int(match.group("batch"))}
+            if match.group("scale") is not None:
+                kwargs["scale"] = float(match.group("scale"))
+        return PlacementRequest(
+            workload=name,
+            workload_kwargs=kwargs,
+            policy_id=spec.policy_id,
+            budget=budget,
+        )
+
+    def warm(self, budget: int = 0) -> int:
+        """Pre-populate the result cache by replaying every registered
+        checkpoint's workload fingerprint through :meth:`handle`
+        (``python -m repro.serve --warm``; docs/serving.md §4).
+
+        Best-effort: checkpoints whose workload name is not a registered
+        generator (or whose cluster shape differs from the default) are
+        skipped with a log line, never an error. Returns the number of
+        cache entries written."""
+        default_devices = ClusterSpec.default().num_devices
+        warmed = 0
+        for spec in self.registry.policies():
+            if not spec.workload or spec.num_devices != default_devices:
+                continue
+            request = self._warm_request(spec, budget)
+            if request is None:
+                logger.info(
+                    "warm: skipping %s (workload %r is not a registered generator)",
+                    spec.policy_id,
+                    spec.workload,
+                )
+                continue
+            try:
+                response = self.handle(request)
+            except ServiceError as exc:
+                logger.warning("warm: %s failed: %s", spec.policy_id, exc)
+                continue
+            if response.cache == "miss":
+                warmed += 1
+                with self._lock:
+                    self._tel().counter("serve.warmed").inc()
+        if warmed:
+            logger.info("warm: %d cache entries pre-populated", warmed)
+        return warmed
 
     def close(self) -> None:
         """Release cached environments' worker pools."""

@@ -142,9 +142,10 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     # Placement service (repro.serve) -----------------------------------
     # One event per serviced request. `status` is "ok" or a typed error
     # code ("bad_request" | "policy_not_found" | "overloaded" | ...);
-    # `cache` is "hit" | "miss" | "none" (failed requests never reach the
-    # cache). `policy_id`/`fingerprint` are empty strings when the request
-    # failed before they were resolved.
+    # `cache` is "hit" | "miss" | "coalesced" (awaited an identical
+    # in-flight request's single-flight future) | "none" (failed requests
+    # never reach the cache). `policy_id`/`fingerprint` are empty strings
+    # when the request failed before they were resolved.
     "serve_request": {
         "request_id": _STR,
         "policy_id": _STR,

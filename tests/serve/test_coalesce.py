@@ -1,0 +1,412 @@
+"""Tests for single-flight request coalescing (``repro.serve.coalesce``).
+
+Covers the :class:`SingleFlight` table in isolation, its integration in
+:meth:`PlacementService.handle` (one computation per thundering herd,
+``cache="coalesced"`` responses, telemetry), the TTL-expiry interaction
+(an expired entry's recompute coalesces to one flight and the cache
+counts one miss per herd), and registry cache warming.
+
+Herd tests gate the service's ``_compute`` on an event so followers
+deterministically arrive while the leader is in flight — the follower
+join count is polled via ``SingleFlight.stats`` before release.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.graph import graph_to_dict
+from repro.serve import (
+    BadRequest,
+    FingerprintCache,
+    PlacementRequest,
+    PlacementService,
+    PolicyRegistry,
+    ServeConfig,
+    SingleFlight,
+)
+from repro.telemetry import Telemetry
+from tests.helpers import tiny_graph
+
+HERD = 6  # leader + 5 followers
+
+
+# ----------------------------------------------------------------------
+# The table in isolation
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_leader_then_follower(self):
+        table = SingleFlight()
+        flight, leader = table.begin("k")
+        assert leader and len(table) == 1
+        same, leader2 = table.begin("k")
+        assert not leader2 and same is flight
+        assert table.finish(flight, result=42) == 1
+        assert same.wait(timeout=1.0) == 42
+        assert len(table) == 0
+        assert table.stats.flights == 1 and table.stats.coalesced == 1
+
+    def test_keys_are_independent(self):
+        table = SingleFlight()
+        _, leader_a = table.begin("a")
+        _, leader_b = table.begin("b")
+        assert leader_a and leader_b
+        assert len(table) == 2
+
+    def test_finish_retires_key(self):
+        table = SingleFlight()
+        flight, _ = table.begin("k")
+        table.finish(flight, result=1)
+        fresh, leader = table.begin("k")
+        assert leader and fresh is not flight  # spent flights never rejoin
+        table.finish(fresh, result=2)
+        assert table.stats.flights == 2
+
+    def test_exception_propagates_to_followers(self):
+        table = SingleFlight()
+        flight, _ = table.begin("k")
+        follower, leader = table.begin("k")
+        assert not leader
+        table.finish(flight, exception=ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            follower.wait(timeout=1.0)
+        assert table.stats.failures == 1
+        # The failure never poisons the next flight for the same key.
+        fresh, leader = table.begin("k")
+        assert leader
+        table.finish(fresh, result="ok")
+        assert fresh.wait(timeout=1.0) == "ok"
+
+    def test_concurrent_joins_against_held_flight(self):
+        table = SingleFlight()
+        held, _ = table.begin("k")  # the leader is in flight throughout
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(9)
+
+        def contend():
+            barrier.wait(timeout=5.0)
+            flight, leader = table.begin("k")
+            with lock:
+                outcomes.append((flight, leader))
+            assert flight.wait(timeout=10.0) == "done"
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=5.0)  # all contenders race begin() together
+        deadline = time.perf_counter() + 10.0
+        while table.stats.coalesced < 8:
+            assert time.perf_counter() < deadline
+            time.sleep(0.005)
+        assert table.finish(held, result="done") == 8
+        for t in threads:
+            t.join(timeout=10.0)
+        assert all(not leader for _, leader in outcomes)
+        assert all(flight is held for flight, _ in outcomes)
+        assert table.stats.flights == 1 and table.stats.coalesced == 8
+
+    def test_stats_to_dict(self):
+        table = SingleFlight()
+        flight, _ = table.begin("k")
+        table.begin("k")
+        table.finish(flight, result=None)
+        assert table.stats.to_dict() == {"flights": 1, "coalesced": 1, "failures": 0}
+
+
+# ----------------------------------------------------------------------
+# Service integration
+# ----------------------------------------------------------------------
+def make_service(ckpt_dir: str, **cfg) -> PlacementService:
+    return PlacementService(
+        PolicyRegistry(ckpt_dir),
+        config=ServeConfig(**cfg),
+        telemetry=Telemetry(),  # in-memory metrics, null events
+    )
+
+
+def gate_compute(service: PlacementService):
+    """Wrap ``service._compute`` so the first entrant blocks on a release
+    event; returns (entered, release, calls)."""
+    entered, release, calls = threading.Event(), threading.Event(), []
+    original = service._compute
+
+    def gated(*args, **kwargs):
+        calls.append(threading.get_ident())
+        entered.set()
+        assert release.wait(timeout=30.0), "test gate never opened"
+        return original(*args, **kwargs)
+
+    service._compute = gated
+    return entered, release, calls
+
+
+def run_herd(service: PlacementService, n: int, **request_overrides):
+    """Fire ``n`` identical requests: one leader gated inside _compute,
+    ``n - 1`` followers verified to have joined the flight before the
+    gate opens. Returns (responses, errors)."""
+    entered, release, calls = gate_compute(service)
+    responses, errors = [], []
+    lock = threading.Lock()
+
+    def fire():
+        request = PlacementRequest(
+            graph=graph_to_dict(tiny_graph()), **request_overrides
+        )
+        try:
+            response = service.handle(request)
+        except Exception as exc:  # noqa: BLE001 - recorded for assertions
+            with lock:
+                errors.append(exc)
+            return
+        with lock:
+            responses.append(response)
+
+    leader = threading.Thread(target=fire)
+    leader.start()
+    assert entered.wait(timeout=30.0)
+    joined_before = service._flights.stats.coalesced
+    followers = [threading.Thread(target=fire) for _ in range(n - 1)]
+    for t in followers:
+        t.start()
+    deadline = time.perf_counter() + 30.0
+    while service._flights.stats.coalesced - joined_before < n - 1:
+        assert time.perf_counter() < deadline, "followers never joined the flight"
+        time.sleep(0.005)
+    release.set()
+    leader.join(timeout=30.0)
+    for t in followers:
+        t.join(timeout=30.0)
+    return responses, errors, calls
+
+
+class TestServiceCoalescing:
+    def test_thundering_herd_computes_once(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        try:
+            responses, errors, calls = run_herd(service, HERD)
+            assert not errors
+            assert len(calls) == 1  # the whole herd cost one computation
+            assert len(responses) == HERD
+            states = sorted(r.cache for r in responses)
+            assert states == ["coalesced"] * (HERD - 1) + ["miss"]
+            placements = {tuple(sorted(r.placement.items())) for r in responses}
+            assert len(placements) == 1  # every waiter got the same answer
+            ids = {r.request_id for r in responses}
+            assert len(ids) == HERD  # but kept its own identity
+            assert all(r.latency_ms > 0 for r in responses)
+        finally:
+            service.close()
+
+    def test_coalesced_telemetry(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        try:
+            run_herd(service, HERD)
+            snapshot = service._tel().metrics.snapshot()
+            assert snapshot["counters"]["serve.coalesced"]["value"] == HERD - 1
+            hist = snapshot["histograms"]["serve.coalesce_wait_s"]
+            assert hist["count"] == HERD - 1
+            assert "serve.cache_hits" not in snapshot["counters"]
+        finally:
+            service.close()
+
+    def test_after_flight_resolves_requests_hit_cache(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        try:
+            run_herd(service, 3)
+            late = service.handle(PlacementRequest(graph=graph_to_dict(tiny_graph())))
+            assert late.cache == "hit"  # spent flights never rejoin
+            assert len(service._flights) == 0
+        finally:
+            service.close()
+
+    def test_use_cache_false_bypasses_coalescing(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        try:
+            entered, release, calls = gate_compute(service)
+            release.set()  # no gating needed, just counting
+            for _ in range(3):
+                response = service.handle(
+                    PlacementRequest(graph=graph_to_dict(tiny_graph()), use_cache=False)
+                )
+                assert response.cache == "miss"
+            assert len(calls) == 3  # every request computed on its own
+            assert service._flights.stats.flights == 0
+        finally:
+            service.close()
+
+    def test_config_disables_coalescing(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir, coalesce=False)
+        try:
+            service.handle(PlacementRequest(graph=graph_to_dict(tiny_graph())))
+            assert service._flights.stats.flights == 0
+        finally:
+            service.close()
+
+    def test_leader_error_propagates_to_followers(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        try:
+            entered, release, calls = gate_compute(service)
+            original = service._compute
+
+            def failing(*args, **kwargs):
+                calls.append(threading.get_ident())
+                entered.set()
+                assert release.wait(timeout=30.0)
+                raise BadRequest("synthetic leader failure")
+
+            service._compute = failing
+            errors = []
+            lock = threading.Lock()
+
+            def fire():
+                try:
+                    service.handle(
+                        PlacementRequest(graph=graph_to_dict(tiny_graph()))
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    with lock:
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=fire) for _ in range(3)]
+            threads[0].start()
+            assert entered.wait(timeout=30.0)
+            for t in threads[1:]:
+                t.start()
+            deadline = time.perf_counter() + 30.0
+            while service._flights.stats.coalesced < 2:
+                assert time.perf_counter() < deadline
+                time.sleep(0.005)
+            release.set()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert len(errors) == 3
+            assert all(isinstance(e, BadRequest) for e in errors)
+            # The failed flight is retired; a fresh request starts a new one.
+            service._compute = original
+            response = service.handle(
+                PlacementRequest(graph=graph_to_dict(tiny_graph()))
+            )
+            assert response.cache == "miss"
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# TTL expiry x coalescing (injectable clock)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTTLCoalescing:
+    def test_expired_entry_recompute_coalesces_to_one_flight(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        clock = FakeClock()
+        service.cache = FingerprintCache(capacity=8, ttl=10.0, clock=clock)
+        try:
+            first = service.handle(PlacementRequest(graph=graph_to_dict(tiny_graph())))
+            assert first.cache == "miss"
+            assert service.cache.stats.misses == 1
+
+            clock.advance(10.5)  # past TTL: the hot entry is now stale
+            responses, errors, calls = run_herd(service, HERD)
+            assert not errors
+            # The herd recomputed exactly once...
+            assert len(calls) == 1
+            assert sorted(r.cache for r in responses) == (
+                ["coalesced"] * (HERD - 1) + ["miss"]
+            )
+            # ...and the cache saw exactly one miss for the whole herd:
+            # only the leader consults it, followers await the flight.
+            assert service.cache.stats.misses == 2
+            assert service.cache.stats.expirations == 1
+
+            # The recompute refreshed the entry: the next request hits.
+            assert (
+                service.handle(
+                    PlacementRequest(graph=graph_to_dict(tiny_graph()))
+                ).cache
+                == "hit"
+            )
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Cache warming from the registry
+# ----------------------------------------------------------------------
+class TestWarm:
+    def test_warm_replays_registered_workloads(self, serve_setup, monkeypatch):
+        from repro.workloads import WORKLOADS
+
+        ckpt_dir, _, _ = serve_setup
+        # The conftest checkpoints are trained on the test-local "tiny"
+        # graph; registering its builder makes that sidecar replayable.
+        monkeypatch.setitem(WORKLOADS, "tiny", tiny_graph)
+        service = make_service(ckpt_dir)
+        try:
+            warmed = service.warm()
+            assert warmed == 1  # "tiny" replayed; "chain" is unknown -> skipped
+            assert len(service.cache) == 1
+            counters = service._tel().metrics.snapshot()["counters"]
+            assert counters["serve.warmed"]["value"] == 1
+            # The warmed entry serves the matching live request as a hit.
+            response = service.handle(
+                PlacementRequest(graph=graph_to_dict(tiny_graph()))
+            )
+            assert response.cache == "hit"
+            assert response.policy_id == "mars__tiny"
+        finally:
+            service.close()
+
+    def test_warm_skips_unknown_workloads(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        try:
+            assert service.warm() == 0  # neither "tiny" nor "chain" registered
+            assert len(service.cache) == 0
+        finally:
+            service.close()
+
+    def test_warm_request_parses_suffixed_names(self, serve_setup):
+        ckpt_dir, _, _ = serve_setup
+        service = make_service(ckpt_dir)
+        try:
+            spec = service.registry.get("mars__tiny")
+            suffixed = type(spec)(
+                **{
+                    **spec.__dict__,
+                    "workload": "vgg16_b4_s0.25",
+                    "meta": {},
+                }
+            )
+            request = service._warm_request(suffixed, budget=2)
+            assert request is not None
+            assert request.workload == "vgg16"
+            assert request.workload_kwargs == {"batch_size": 4, "scale": 0.25}
+            assert request.policy_id == spec.policy_id
+            assert request.budget == 2
+            assert service._warm_request(
+                type(spec)(**{**spec.__dict__, "workload": "nope_b4", "meta": {}}),
+                budget=0,
+            ) is None
+        finally:
+            service.close()

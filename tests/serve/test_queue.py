@@ -7,6 +7,7 @@ and ``handle`` from its service.
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeout
 
 import pytest
 
@@ -139,6 +140,21 @@ class TestWorkers:
             f"req-{i:03d}" for i in range(12)
         )
 
+    def test_timeout_cancels_queued_request(self):
+        """Satellite fix: a timed-out submit_and_wait must cancel its
+        future so workers skip the stale request instead of computing a
+        result nobody will read."""
+        service = StubService(ServeConfig(workers=1, max_queue=8, max_batch=1), gated=True)
+        q = RequestQueue(service)
+        q.submit(make_request(0))  # occupies the only worker at the gate
+        assert service.entered.wait(timeout=10.0)
+        with pytest.raises(FutureTimeout):
+            q.submit_and_wait(make_request(1), timeout=0.1)
+        service.gate.set()
+        q.shutdown()
+        # Request 0 was computed; the timed-out request 1 was skipped.
+        assert service.handled == ["req-000"]
+
     def test_queue_depth_gauge(self):
         service = StubService(ServeConfig(workers=1, max_queue=8, max_batch=1), gated=True)
         q = RequestQueue(service)
@@ -152,3 +168,98 @@ class TestWorkers:
         service.gate.set()
         q.shutdown()
         assert q.depth == 0
+
+
+class RacingQueue:
+    """Queue proxy whose ``put_nowait`` parks until told to proceed —
+    deterministically widens the submit/shutdown race window."""
+
+    def __init__(self, real):
+        self._real = real
+        self.hold = threading.Event()  # a put is parked inside submit
+        self.proceed = threading.Event()  # release the parked put
+
+    def put_nowait(self, item):
+        self.hold.set()
+        assert self.proceed.wait(timeout=10.0), "racing put never released"
+        return self._real.put_nowait(item)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestShutdownRace:
+    """Regression: a request admitted between the closed check and the
+    enqueue after the workers exited must fail with ServiceClosed — its
+    future can never be left unresolved (the pre-fix behavior)."""
+
+    def test_item_enqueued_after_shutdown_completes_is_failed(self):
+        service = StubService(ServeConfig(workers=1, max_queue=4))
+        q = RequestQueue(service)
+        racing = RacingQueue(q._queue)
+        q._queue = racing
+
+        futures = []
+
+        def racy_submit():
+            futures.append(q.submit(make_request(0)))
+
+        submitter = threading.Thread(target=racy_submit)
+        submitter.start()
+        # The submitter has passed the closed check and is parked inside
+        # put_nowait; run the entire shutdown (workers exit, residual
+        # drain finds nothing), then let the put land in the dead queue.
+        assert racing.hold.wait(timeout=10.0)
+        q.shutdown()
+        racing.proceed.set()
+        submitter.join(timeout=10.0)
+
+        assert len(futures) == 1
+        with pytest.raises(ServiceClosed, match="shut down"):
+            futures[0].result(timeout=5.0)
+
+    def test_items_stranded_before_final_drain_are_failed(self):
+        """Items the dead workers never picked up are failed by
+        shutdown's residual drain itself."""
+        service = StubService(ServeConfig(workers=1, max_queue=4))
+        q = RequestQueue(service, start=False)  # no workers ever ran
+        future = q.submit(make_request(0))
+        q.shutdown()
+        with pytest.raises(ServiceClosed):
+            future.result(timeout=5.0)
+        assert q.depth == 0
+
+    def test_submit_shutdown_stress_never_strands_a_future(self):
+        """Probabilistic sweep over the interleavings: every future from
+        a successful submit resolves — a response or a typed error —
+        within the join timeout."""
+        for _ in range(10):
+            service = StubService(ServeConfig(workers=2, max_queue=64, max_batch=4))
+            q = RequestQueue(service)
+            futures, lock = [], threading.Lock()
+            stop = threading.Event()
+
+            def hammer():
+                i = 0
+                while not stop.is_set():
+                    try:
+                        f = q.submit(make_request(i))
+                    except (ServiceClosed, ServiceOverloaded):
+                        return
+                    with lock:
+                        futures.append(f)
+                    i += 1
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            time.sleep(0.01)
+            q.shutdown()
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            for f in futures:
+                try:
+                    f.result(timeout=5.0)  # resolved either way is a pass
+                except ServiceClosed:
+                    pass

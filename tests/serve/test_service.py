@@ -152,6 +152,52 @@ class TestErrors:
             PlacementRequest.from_json([1, 2])
 
 
+class TestEnvCache:
+    def test_env_for_builds_once_under_concurrency(self, serve_setup, monkeypatch):
+        """Regression: two threads missing the same env key must not both
+        construct a PlacementEnv (the loser's eval pool leaked)."""
+        import threading
+        import time as time_mod
+
+        import repro.serve.service as service_mod
+        from repro.sim import ClusterSpec
+
+        real_env = service_mod.PlacementEnv
+        builds = []
+
+        class CountingEnv(real_env):
+            def __init__(self, *args, **kwargs):
+                builds.append(threading.get_ident())
+                time_mod.sleep(0.05)  # hold the build window open
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(service_mod, "PlacementEnv", CountingEnv)
+        ckpt_dir, _, _ = serve_setup
+        svc = PlacementService(PolicyRegistry(ckpt_dir))
+        try:
+            graph, cluster = tiny_graph(), ClusterSpec.default()
+            envs, barrier = [], threading.Barrier(8)
+            lock = threading.Lock()
+
+            def build():
+                barrier.wait(timeout=5.0)
+                env = svc._env_for(graph, cluster, "shared-key")
+                with lock:
+                    envs.append(env)
+
+            threads = [threading.Thread(target=build) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert len(builds) == 1  # exactly one construction
+            assert len(envs) == 8
+            assert all(env is envs[0] for env in envs)
+            assert "shared-key" not in svc._env_builds  # lock table stays clean
+        finally:
+            svc.close()
+
+
 class TestTelemetry:
     def test_serve_request_events_validate(self, serve_setup, tmp_path):
         ckpt_dir, _, _ = serve_setup

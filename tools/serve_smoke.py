@@ -19,7 +19,11 @@ gets driven:
   exposition covering the ``serve.*`` and ``env.*`` metrics;
 * a deliberately undersized second service (1 worker, queue of 1) is
   flooded to prove overload surfaces as the typed 503 ``overloaded``
-  error immediately — never a hang or silent queueing.
+  error immediately — never a hang or silent queueing;
+* a thundering herd of 64 identical concurrent requests against a cold
+  cache must compute exactly once: one ``miss``, every other response
+  ``coalesced`` (joined the in-flight single-flight computation) or
+  ``hit``, all carrying the identical placement.
 
 Exits non-zero on any violation, so ``make test`` catches a serving
 regression before a user does. See docs/serving.md for the guide.
@@ -281,6 +285,65 @@ def overload_traffic(registry: PolicyRegistry) -> None:
         server.shutdown()
 
 
+def thundering_herd(registry: PolicyRegistry) -> None:
+    """64 identical concurrent requests must compute exactly once.
+
+    Single-flight coalescing guarantees this structurally: the first
+    request to reach the service leads the computation and everyone
+    else either joins its flight (``coalesced``) or lands after the
+    result is cached (``hit``) — regardless of thread interleaving.
+    """
+    service = PlacementService(registry, config=ServeConfig(workers=4, max_queue=128))
+    server = PlacementServer(service, port=0, queue=RequestQueue(service)).start()
+    try:
+        body = {"graph": graph_to_dict(chain_graph("herd", 7)), "budget": 8}
+        barrier = threading.Barrier(N_REQUESTS)
+        results, errors = [], []
+        lock = threading.Lock()
+
+        def client() -> None:
+            try:
+                barrier.wait(timeout=60.0)
+                status, doc = post(server.address, body, timeout=120.0)
+            except Exception as exc:  # noqa: BLE001 - smoke must report, not crash
+                with lock:
+                    errors.append(repr(exc))
+                return
+            with lock:
+                results.append((status, doc))
+
+        threads = [threading.Thread(target=client) for _ in range(N_REQUESTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        if errors:
+            fail("herd client errors: " + "; ".join(errors[:3]))
+        if len(results) != N_REQUESTS:
+            fail(f"herd expected {N_REQUESTS} responses, got {len(results)}")
+
+        caches = [doc["cache"] for _, doc in results]
+        placements = [doc["placement"] for _, doc in results]
+        for status, doc in results:
+            if status != 200:
+                fail(f"herd request failed with {status}: {doc}")
+        misses = caches.count("miss")
+        if misses != 1:
+            fail(f"herd of {N_REQUESTS} identical requests computed {misses} times")
+        stray = set(caches) - {"miss", "hit", "coalesced"}
+        if stray:
+            fail(f"herd produced unexpected cache states: {sorted(stray)}")
+        if any(p != placements[0] for p in placements):
+            fail("herd responses disagree on the placement")
+        print(
+            f"serve-smoke: thundering herd OK ({N_REQUESTS} identical requests -> "
+            f"1 compute, {caches.count('coalesced')} coalesced, "
+            f"{caches.count('hit')} hits)"
+        )
+    finally:
+        server.shutdown()
+
+
 def run() -> int:
     cluster = ClusterSpec.default()
     with tempfile.TemporaryDirectory() as ckpt_dir, \
@@ -309,6 +372,7 @@ def run() -> int:
             tel.close()
         check_span_tree(tel.run_dir)
         overload_traffic(registry)
+        thundering_herd(registry)
     print("serve-smoke: OK")
     return 0
 
